@@ -1,0 +1,86 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Ablations for the design choices DESIGN.md calls out:
+//   A. replication accounting: measured duplication vs the analytic
+//      (d + cf) / cf across clustering factors;
+//   B. candidate distribution keys: predicted vs sampled max reducer load
+//      for every candidate the optimizer enumerates;
+//   C. local evaluation: sort/scan streaming vs hash fallback (how many
+//      basic measures the chosen sort order streams per query);
+//   D. cost-model accuracy: analytic expected max load vs Monte-Carlo.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "core/cost_model.h"
+#include "core/key_derivation.h"
+#include "core/skew.h"
+#include "local/sortscan_evaluator.h"
+
+int main() {
+  using namespace casm;
+  using namespace casm::bench;
+
+  PrintHeader("Ablations", "replication, candidate keys, sort order, model");
+  ClusterConfig cluster;
+  const int64_t rows = ScaledRows(200000);
+  Table table = PaperUniformTable(rows, 11);
+
+  // --- A: replication vs (d + cf) / cf.
+  std::printf("\n[A] replication factor vs clustering (Q6, d=24)\n");
+  std::printf("%-8s%14s%14s\n", "cf", "measured", "(d+cf)/cf");
+  Workflow q6 = MakePaperQuery(PaperQuery::kQ6);
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(q6).query_key;
+  const int64_t d = plan.AnnotationWidth();
+  for (int64_t cf : {1, 4, 12, 24, 48}) {
+    plan.clustering_factor = cf;
+    RunOutcome outcome = RunPlan(q6, table, plan, cluster);
+    std::printf("%-8lld%14.3f%14.3f\n", static_cast<long long>(cf),
+                outcome.result.metrics.ReplicationFactor(),
+                static_cast<double>(d + cf) / static_cast<double>(cf));
+    std::fflush(stdout);
+  }
+
+  // --- B: candidate keys, predicted vs simulated-dispatch max load.
+  std::printf("\n[B] candidate plans (Q6): predicted vs sampled max load\n");
+  OptimizerOptions opts;
+  opts.num_reducers = cluster.num_reducers;
+  opts.num_records = rows;
+  std::vector<ExecutionPlan> candidates = CandidatePlans(q6, opts).value();
+  SamplingOptions so;
+  so.sample_fraction = 0.2;
+  for (const ExecutionPlan& candidate : candidates) {
+    std::vector<int64_t> loads =
+        SimulateDispatch(q6, table, candidate, cluster.num_reducers, so);
+    int64_t sampled_max = *std::max_element(loads.begin(), loads.end());
+    std::printf("  %-52s predicted=%9.0f sampled=%9lld\n",
+                candidate.ToString(*q6.schema()).c_str(),
+                candidate.predicted_max_load,
+                static_cast<long long>(sampled_max));
+  }
+
+  // --- C: sort/scan plan quality per paper query.
+  std::printf("\n[C] sort/scan evaluator: streamed basic measures per query\n");
+  for (PaperQuery q : AllPaperQueries()) {
+    Workflow wf = MakePaperQuery(q);
+    SortScanEvaluator eval(&wf);
+    std::printf("  %-4s streams %d of %zu basic measures\n",
+                PaperQueryName(q), eval.num_streamed(),
+                wf.BasicMeasures().size());
+  }
+
+  // --- D: analytic vs Monte-Carlo expected max load.
+  std::printf("\n[D] cost model vs Monte-Carlo (W=1e6 records)\n");
+  std::printf("%-10s%-10s%14s%14s\n", "reducers", "blocks", "analytic",
+              "monte_carlo");
+  for (int m : {10, 50, 200}) {
+    for (int64_t blocks : {500, 5000, 50000}) {
+      double analytic = ExpectedMaxReducerLoad(1e6, blocks, m);
+      double mc = SimulatedMaxReducerLoad(1e6, blocks, m, 200, 99);
+      std::printf("%-10d%-10lld%14.0f%14.0f\n", m,
+                  static_cast<long long>(blocks), analytic, mc);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Shared harness utilities for the figure-reproduction benchmarks.
+//
+// Each fig4*_ binary regenerates one panel of the paper's Figure 4. The
+// in-process engine executes the real dataflow and measures the exact
+// per-reducer workload distribution; the response time of the paper's
+// cluster (100 machines, up to two tasks each) is then computed by the
+// calibrated cluster model (mr/cluster_model.h) — see DESIGN.md for why
+// this substitution preserves the figures' shapes. Wall-clock times of
+// this process are also printed for reference.
+//
+// Scaling: datasets default to bench-friendly sizes; set CASM_BENCH_SCALE
+// (a positive float) to scale row counts, e.g. CASM_BENCH_SCALE=10 for a
+// longer, higher-fidelity run.
+
+#ifndef CASM_BENCH_BENCH_UTIL_H_
+#define CASM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "core/optimizer.h"
+#include "core/parallel_evaluator.h"
+#include "mr/cluster_model.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm::bench {
+
+/// Row-count scale factor from CASM_BENCH_SCALE (default 1.0).
+inline double Scale() {
+  const char* env = std::getenv("CASM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline int64_t ScaledRows(int64_t base) {
+  return static_cast<int64_t>(static_cast<double>(base) * Scale());
+}
+
+/// The paper's testbed: 100 machines, up to two map/reduce tasks each.
+struct ClusterConfig {
+  int num_mappers = 50;
+  int num_reducers = 50;
+};
+
+struct RunOutcome {
+  ParallelEvalResult result;
+  ExecutionPlan plan;
+  double modeled_seconds = 0;
+};
+
+/// Runs a specific plan, returning engine metrics and the modeled cluster
+/// response time. Aborts on failure (benchmarks only run supported
+/// configurations).
+inline RunOutcome RunPlan(const Workflow& wf, const Table& table,
+                          const ExecutionPlan& plan,
+                          const ClusterConfig& cluster,
+                          ParallelEvalPhase phase = ParallelEvalPhase::kFull) {
+  ParallelEvalOptions eval;
+  eval.num_mappers = cluster.num_mappers;
+  eval.num_reducers = cluster.num_reducers;
+  eval.phase = phase;
+  Result<ParallelEvalResult> result = EvaluateParallel(wf, table, plan, eval);
+  CASM_CHECK(result.ok()) << result.status().ToString();
+  RunOutcome outcome{std::move(result).value(), plan, 0};
+  outcome.modeled_seconds = ModeledResponseSeconds(
+      outcome.result.metrics, cluster.num_mappers,
+      ClusterCostParams::Default());
+  return outcome;
+}
+
+/// Optimizes a plan for (wf, table) and runs it.
+inline RunOutcome RunQuery(const Workflow& wf, const Table& table,
+                           const ClusterConfig& cluster,
+                           OptimizerOptions opt_overrides = {},
+                           ParallelEvalPhase phase = ParallelEvalPhase::kFull) {
+  OptimizerOptions opts = opt_overrides;
+  opts.num_reducers = cluster.num_reducers;
+  opts.num_records = table.num_rows();
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  CASM_CHECK(plan.ok()) << plan.status().ToString();
+  return RunPlan(wf, table, plan.value(), cluster, phase);
+}
+
+/// Prints the standard benchmark header.
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf("# scale=%.2f (set CASM_BENCH_SCALE to change)\n", Scale());
+}
+
+}  // namespace casm::bench
+
+#endif  // CASM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Figure 4(a) — System scale-up: query response time vs data-set size for
+// Q1-Q6, 50 mappers and 50 reducers. Paper shape: every query scales close
+// to linearly in the input size; Q6 is consistently slowest because its
+// sibling window forces an overlapping key (extra shuffled data, larger
+// blocks to sort).
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace casm;
+  using namespace casm::bench;
+
+  PrintHeader("Figure 4(a)", "response time vs data size, Q1-Q6, 50m/50r");
+  ClusterConfig cluster;
+
+  std::vector<int64_t> sizes = {ScaledRows(50000), ScaledRows(100000),
+                                ScaledRows(200000), ScaledRows(400000)};
+  std::printf("%-8s", "rows");
+  for (PaperQuery q : {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3,
+                       PaperQuery::kQ4, PaperQuery::kQ5, PaperQuery::kQ6}) {
+    std::printf("%12s", PaperQueryName(q));
+  }
+  std::printf("   (modeled cluster seconds)\n");
+
+  for (int64_t rows : sizes) {
+    Table table = PaperUniformTable(rows, 4242);
+    std::printf("%-8lld", static_cast<long long>(rows));
+    for (PaperQuery q : {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3,
+                         PaperQuery::kQ4, PaperQuery::kQ5, PaperQuery::kQ6}) {
+      Workflow wf = MakePaperQuery(q);
+      RunOutcome outcome = RunQuery(wf, table, cluster);
+      std::printf("%12.3f", outcome.modeled_seconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Figure 4(b) — System speed-up: average data processing rate (records per
+// modeled second) as mappers/reducers scale, for Q1, Q2 and Q6 over a
+// fixed data set. Paper shape: Q1/Q2 scale near linearly with machines;
+// Q6 trails off because its coarse-granularity sliding window limits the
+// clustering factor and duplicates data across blocks.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace casm;
+  using namespace casm::bench;
+
+  PrintHeader("Figure 4(b)",
+              "processing rate vs #reducers, Q1/Q2/Q6, fixed input");
+  const int64_t rows = ScaledRows(300000);
+  Table table = PaperUniformTable(rows, 1717);
+
+  // Job startup is excluded from the rate: the paper's multi-minute jobs
+  // amortize it, while at bench scale it would mask the scaling shape.
+  ClusterCostParams params = ClusterCostParams::Default();
+  params.startup_seconds = 0;
+
+  std::printf("%-10s%14s%14s%14s   (records per modeled second)\n",
+              "reducers", "Q1", "Q2", "Q6");
+  for (int m : {10, 20, 30, 40, 50}) {
+    ClusterConfig cluster;
+    cluster.num_mappers = m;
+    cluster.num_reducers = m;
+    std::printf("%-10d", m);
+    for (PaperQuery q : {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ6}) {
+      Workflow wf = MakePaperQuery(q);
+      RunOutcome outcome = RunQuery(wf, table, cluster);
+      const double seconds =
+          ModeledResponseSeconds(outcome.result.metrics, m, params);
+      std::printf("%14.0f", static_cast<double>(rows) / seconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Figure 4(c) — Impact of the clustering factor: measured response time
+// across cf values for a sliding-window query, overlaid with the §IV-B
+// analytical prediction. Paper shape: U-curve — the naive cf=1 scheme is
+// about twice as slow as the optimum because every record is duplicated
+// d+1 times; an excessive cf destroys parallelism; the model prediction
+// tracks the measured curve and its optimum.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cost_model.h"
+#include "core/key_derivation.h"
+
+int main() {
+  using namespace casm;
+  using namespace casm::bench;
+
+  PrintHeader("Figure 4(c)",
+              "response time vs clustering factor, window query, model "
+              "overlay");
+  ClusterConfig cluster;
+  const int64_t rows = ScaledRows(300000);
+  Table table = PaperUniformTable(rows, 90125);
+
+  // Q6: key <D1:tier1, T1:hour(-24,0)>, d = 24, n_g = 64 * 480.
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  DistributionKey key = DeriveDistributionKeys(wf).query_key;
+  ExecutionPlan base;
+  base.key = key;
+  const int64_t n_g = key.NumBaseBlocks(*wf.schema());
+  const int64_t d = base.AnnotationWidth();
+  const int64_t cf_star =
+      OptimalClusteringFactor(rows, n_g, d, cluster.num_reducers, 0);
+  std::printf("# d=%lld n_g=%lld model-optimal cf*=%lld\n",
+              static_cast<long long>(d), static_cast<long long>(n_g),
+              static_cast<long long>(cf_star));
+
+  const ClusterCostParams params = ClusterCostParams::Default();
+  const double fixed = params.startup_seconds +
+                       static_cast<double>(rows) / cluster.num_mappers *
+                           params.map_seconds_per_record;
+  std::printf("%-8s%14s%14s%16s%14s\n", "cf", "measured_s", "predicted_s",
+              "predicted_load", "replication");
+  for (int64_t cf : std::vector<int64_t>{1, 2, 5, 10, 25, 50, 100, 250, 614}) {
+    ExecutionPlan plan = base;
+    plan.clustering_factor = cf;
+    RunOutcome outcome = RunPlan(wf, table, plan, cluster);
+    const double predicted =
+        OverlappingMaxLoad(rows, n_g, d, cluster.num_reducers, cf);
+    std::printf("%-8lld%14.3f%14.3f%16.0f%14.3f\n", static_cast<long long>(cf),
+                outcome.modeled_seconds,
+                fixed + ReducerCostSeconds(predicted, params), predicted,
+                outcome.result.metrics.ReplicationFactor());
+    std::fflush(stdout);
+  }
+  return 0;
+}

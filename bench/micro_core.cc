@@ -1,0 +1,166 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// google-benchmark microbenchmarks for CASM's hot paths: hierarchy
+// mapping, region extraction, key generation, partition hashing,
+// accumulators, offset conversion, cost-model evaluation, and the local
+// sort/scan evaluator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.h"
+#include "core/key_derivation.h"
+#include "core/keygen.h"
+#include "data/generator.h"
+#include "local/sortscan_evaluator.h"
+#include "mr/engine.h"
+#include "queries/paper_data.h"
+#include "measure/workflow_parser.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+void BM_MapFromFinest(benchmark::State& state) {
+  SchemaPtr schema = PaperSchema();
+  const Hierarchy& time = schema->attribute(4);
+  int64_t v = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time.MapFromFinest(v, 2));
+    v = (v + 977) % time.cardinality();
+  }
+}
+BENCHMARK(BM_MapFromFinest);
+
+void BM_RegionOfRecord(benchmark::State& state) {
+  SchemaPtr schema = PaperSchema();
+  Table table = PaperUniformTable(1024, 5);
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  const Granularity& gran = wf.measure(0).granularity;
+  int64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RegionOfRecord(*schema, gran, table.row(row)));
+    row = (row + 1) % table.num_rows();
+  }
+}
+BENCHMARK(BM_RegionOfRecord);
+
+void BM_KeyGeneration(benchmark::State& state) {
+  SchemaPtr schema = PaperSchema();
+  Table table = PaperUniformTable(1024, 6);
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  plan.clustering_factor = static_cast<int64_t>(state.range(0));
+  std::vector<KeyGenAttr> keygen = BuildKeyGen(*schema, plan);
+  std::vector<int64_t> g(6), key(6);
+  int64_t row = 0;
+  int64_t emitted = 0;
+  for (auto _ : state) {
+    const int64_t* r = table.row(row);
+    for (int a = 0; a < 6; ++a) {
+      g[static_cast<size_t>(a)] =
+          schema->attribute(a).MapFromFinest(r[a], keygen[static_cast<size_t>(a)].level);
+    }
+    ForEachBlock(keygen, g, &key, [&](const int64_t* k) {
+      benchmark::DoNotOptimize(k[0]);
+      ++emitted;
+    });
+    row = (row + 1) % table.num_rows();
+  }
+  state.counters["replicas_per_record"] =
+      static_cast<double>(emitted) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_KeyGeneration)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_PartitionHash(benchmark::State& state) {
+  int64_t key[6] = {1, 2, 3, 4, 5, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionHash(key, 6));
+    ++key[3];
+  }
+}
+BENCHMARK(BM_PartitionHash);
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  AggregateFn fn = static_cast<AggregateFn>(state.range(0));
+  Accumulator acc(fn);
+  double v = 0.5;
+  for (auto _ : state) {
+    acc.Add(v);
+    v += 0.25;
+  }
+  benchmark::DoNotOptimize(acc.count());
+}
+BENCHMARK(BM_AccumulatorAdd)
+    ->Arg(static_cast<int>(AggregateFn::kSum))
+    ->Arg(static_cast<int>(AggregateFn::kAvg))
+    ->Arg(static_cast<int>(AggregateFn::kMedian));
+
+void BM_ConvertOffsets(benchmark::State& state) {
+  for (auto _ : state) {
+    int64_t lo = -600, hi = 600;
+    ConvertOffsets(60, 86400, &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+    benchmark::DoNotOptimize(hi);
+  }
+}
+BENCHMARK(BM_ConvertOffsets);
+
+void BM_OptimalClusteringFactor(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimalClusteringFactor(1000000, 30720, 24, 50, 0));
+  }
+}
+BENCHMARK(BM_OptimalClusteringFactor);
+
+void BM_KeyDerivation(benchmark::State& state) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveDistributionKeys(wf).query_key);
+  }
+}
+BENCHMARK(BM_KeyDerivation);
+
+void BM_SortScanEvaluate(benchmark::State& state) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ5);
+  Table table = PaperUniformTable(state.range(0), 3);
+  SortScanEvaluator eval(&wf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(table.data().data(),
+                                           table.num_rows(), false,
+                                           LocalEvalPhase::kFull, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_SortScanEvaluate)->Arg(1000)->Arg(10000);
+
+void BM_ParseWorkflow(benchmark::State& state) {
+  SchemaPtr schema = WeblogSchema();
+  const char* text = R"(
+    M1 := MEDIAN(PageCount)       AT Keyword:word, Time:minute;
+    M2 := MEDIAN(AdCount)         AT Keyword:word, Time:hour;
+    M3 := M1 / M2                 AT Keyword:word, Time:minute;
+    M4 := AVG(M3 OVER Time[-9,0]) AT Keyword:word, Time:minute;
+  )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseWorkflow(schema, text));
+  }
+}
+BENCHMARK(BM_ParseWorkflow);
+
+void BM_GenerateTable(benchmark::State& state) {
+  SchemaPtr schema = PaperSchema();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateUniformTable(schema, state.range(0), 42));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateTable)->Arg(100000);
+
+}  // namespace
+}  // namespace casm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification loop: configure, build, run every test, run every
+# figure/bench harness. Mirrors what EXPERIMENTS.md's outputs were
+# produced with.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $b ====="
+    "$b"
+    echo
+  fi
+done

@@ -1,0 +1,59 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Minimal assertion/logging macros. CASM_CHECK aborts on violated internal
+// invariants; it is always on (the library's correctness arguments rely on
+// these invariants, and the cost is negligible off the hot paths where the
+// macro is used).
+
+#ifndef CASM_COMMON_LOGGING_H_
+#define CASM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace casm::internal {
+
+/// Accumulates a failure message and aborts when destroyed.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CASM_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a streamed CheckFailureStream expression be used in a void context
+/// (`operator&` binds looser than `operator<<`).
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace casm::internal
+
+#define CASM_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::casm::internal::Voidify() &                   \
+                    ::casm::internal::CheckFailureStream(       \
+                        #condition, __FILE__, __LINE__)
+
+#define CASM_CHECK_EQ(a, b) CASM_CHECK((a) == (b))
+#define CASM_CHECK_NE(a, b) CASM_CHECK((a) != (b))
+#define CASM_CHECK_LT(a, b) CASM_CHECK((a) < (b))
+#define CASM_CHECK_LE(a, b) CASM_CHECK((a) <= (b))
+#define CASM_CHECK_GT(a, b) CASM_CHECK((a) > (b))
+#define CASM_CHECK_GE(a, b) CASM_CHECK((a) >= (b))
+
+#endif  // CASM_COMMON_LOGGING_H_

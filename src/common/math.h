@@ -1,0 +1,44 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Integer helpers used throughout region arithmetic. All region and offset
+// math in CASM uses floor semantics (towards negative infinity) so that
+// hierarchies behave uniformly for negative offsets.
+
+#ifndef CASM_COMMON_MATH_H_
+#define CASM_COMMON_MATH_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace casm {
+
+/// Floor division: largest q with q * b <= a. Requires b > 0.
+constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  int64_t r = a % b;
+  return (r != 0 && r < 0) ? q - 1 : q;
+}
+
+/// Ceiling division: smallest q with q * b >= a. Requires b > 0.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  int64_t r = a % b;
+  return (r != 0 && r > 0) ? q + 1 : q;
+}
+
+/// Floor modulo: a - FloorDiv(a, b) * b, always in [0, b). Requires b > 0.
+constexpr int64_t FloorMod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+static_assert(FloorDiv(7, 2) == 3);
+static_assert(FloorDiv(-7, 2) == -4);
+static_assert(CeilDiv(7, 2) == 4);
+static_assert(CeilDiv(-7, 2) == -3);
+static_assert(FloorMod(-7, 2) == 1);
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_MATH_H_

@@ -1,0 +1,69 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Result<T>: a Status-or-value type in the spirit of absl::StatusOr.
+
+#ifndef CASM_COMMON_RESULT_H_
+#define CASM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace casm {
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the
+/// value of an error Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CASM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CASM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CASM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CASM_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace casm
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define CASM_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CASM_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CASM_STATUS_CONCAT_(casm_result_, __LINE__), lhs, expr)
+
+#define CASM_STATUS_CONCAT_INNER_(a, b) a##b
+#define CASM_STATUS_CONCAT_(a, b) CASM_STATUS_CONCAT_INNER_(a, b)
+#define CASM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // CASM_COMMON_RESULT_H_

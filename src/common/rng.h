@@ -1,0 +1,47 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic, fast pseudo-random generator (splitmix64) used by the
+// synthetic workload generators and the Monte-Carlo cost-model tests.
+// std::mt19937_64 is avoided for speed and cross-platform determinism of
+// derived distributions.
+
+#ifndef CASM_COMMON_RNG_H_
+#define CASM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace casm {
+
+/// splitmix64: passes BigCrush, one multiply-xor-shift pipeline per draw.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64 uniform random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_RNG_H_

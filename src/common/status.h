@@ -1,0 +1,96 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Error propagation for CASM. The library does not use exceptions; fallible
+// operations return `Status` (or `Result<T>`, see common/result.h). The
+// design follows the conventions of widely used database codebases
+// (RocksDB's Status, absl::Status).
+
+#ifndef CASM_COMMON_STATUS_H_
+#define CASM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace casm {
+
+/// Canonical error space. Keep the list short; codes are for dispatch,
+/// messages are for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns the canonical spelling of `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type carrying either success (`ok()`) or an error code + message.
+///
+/// Example:
+///   Status s = workflow.Validate();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace casm
+
+/// Propagates a non-OK Status to the caller.
+#define CASM_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::casm::Status casm_status_tmp_ = (expr);        \
+    if (!casm_status_tmp_.ok()) return casm_status_tmp_; \
+  } while (false)
+
+#endif  // CASM_COMMON_STATUS_H_

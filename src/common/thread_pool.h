@@ -1,0 +1,58 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Fixed-size worker pool used by the MapReduce engine to execute map and
+// reduce tasks. Tasks are closures; Wait() provides a full barrier.
+
+#ifndef CASM_COMMON_THREAD_POOL_H_
+#define CASM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace casm {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Thread-safe: Submit() and Wait() may be called from any thread, but
+/// tasks must not themselves call Wait() (deadlock).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// `fn` must be safe to invoke concurrently for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running
+  bool shutdown_ = false;
+};
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_THREAD_POOL_H_

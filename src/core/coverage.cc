@@ -1,0 +1,89 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/coverage.h"
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "core/key_derivation.h"
+
+namespace casm {
+
+std::vector<RegionWindow> ComputeCoverageWindows(const Workflow& wf, int attr,
+                                                 LevelId key_level) {
+  const Hierarchy& h = wf.schema()->attribute(attr);
+  CASM_CHECK(h.kind() == AttributeKind::kNumeric);
+  CASM_CHECK(!h.is_all(key_level));
+
+  std::vector<RegionWindow> windows(static_cast<size_t>(wf.num_measures()));
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    RegionWindow w{0, 0};  // the measure's own key region
+    for (const MeasureEdge& edge : m.edges) {
+      RegionWindow src = windows[static_cast<size_t>(edge.source)];
+      if (edge.rel == Relationship::kSibling && edge.sibling.attr == attr) {
+        // Worst-case displacement of the sibling's key region relative to
+        // the target's, in whole key regions.
+        int64_t lo = edge.sibling.lo;
+        int64_t hi = edge.sibling.hi;
+        ConvertLevelOffsets(h, m.granularity.level(attr), key_level, &lo,
+                            &hi);
+        src.lo += lo;
+        src.hi += hi;
+      }
+      w.UnionWith(src);
+    }
+    windows[static_cast<size_t>(i)] = w;
+  }
+  return windows;
+}
+
+Status CheckFeasible(const Workflow& wf, const DistributionKey& key) {
+  const Schema& schema = *wf.schema();
+  if (key.num_attributes() != schema.num_attributes()) {
+    return Status::FailedPrecondition("key width does not match schema");
+  }
+
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const Hierarchy& h = schema.attribute(a);
+    const KeyComponent& c = key.component(a);
+    if (c.lo > 0 || c.hi < 0) {
+      return Status::FailedPrecondition(
+          "annotation must satisfy lo <= 0 <= hi on attribute '" + h.name() +
+          "'");
+    }
+    if (c.annotated() && h.kind() != AttributeKind::kNumeric) {
+      return Status::FailedPrecondition(
+          "range annotation on nominal attribute '" + h.name() + "'");
+    }
+
+    // Level check: the key must be at least as general as every measure.
+    for (int i = 0; i < wf.num_measures(); ++i) {
+      if (wf.measure(i).granularity.level(a) > c.level) {
+        return Status::FailedPrecondition(
+            "key level '" + h.level_name(c.level) + "' of attribute '" +
+            h.name() + "' is more specific than measure '" +
+            wf.measure(i).name + "'");
+      }
+    }
+
+    // The single ALL region contains everything; nominal attributes admit
+    // no windows (sibling edges are numeric-only).
+    if (h.is_all(c.level) || h.kind() != AttributeKind::kNumeric) continue;
+
+    std::vector<RegionWindow> windows = ComputeCoverageWindows(wf, a, c.level);
+    for (int i = 0; i < wf.num_measures(); ++i) {
+      const RegionWindow& w = windows[static_cast<size_t>(i)];
+      if (w.lo < c.lo || w.hi > c.hi) {
+        return Status::FailedPrecondition(
+            "measure '" + wf.measure(i).name + "' needs key regions [" +
+            std::to_string(w.lo) + "," + std::to_string(w.hi) +
+            "] around its own on attribute '" + h.name() +
+            "' but the block only spans [" + std::to_string(c.lo) + "," +
+            std::to_string(c.hi) + "]");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace casm

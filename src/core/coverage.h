@@ -1,0 +1,69 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Coverage analysis: an independent feasibility checker for distribution
+// keys (paper §III-B: a key is feasible iff every measure result's
+// coverage set fits inside one distribution block).
+//
+// The checker propagates, for every measure and numeric attribute, the
+// window of *key-level regions* (relative to the region owning the
+// measure, offset 0) that the measure's coverage touches, worst case over
+// alignment:
+//
+//   basic measures touch only their own key region           -> [0, 0];
+//   self / child-parent / parent-child edges inherit the source's window
+//   unchanged (source and target share the key-level ancestor because
+//   hierarchies nest);
+//   a sibling edge with offsets [slo, shi] at the measure's level shifts
+//   the source's window by the worst-case key-region displacement,
+//   computed by ConvertLevelOffsets (exact for uniform hierarchies,
+//   conservative for irregular calendar-style levels).
+//
+// A key component (G, lo, hi) is feasible for the attribute iff level G is
+// at least as general as every measure's and every window fits in
+// [lo, hi].
+//
+// This reasoning is deliberately *separate* from the opConvert/opCombine
+// key-derivation algebra (core/key_derivation.h); the tests cross-check
+// the two, and additionally validate both against brute-force coverage
+// sets from the instrumented reference evaluator.
+
+#ifndef CASM_CORE_COVERAGE_H_
+#define CASM_CORE_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/distribution_key.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// An inclusive window of key-level region offsets relative to the region
+/// owning the measure result (offset 0).
+struct RegionWindow {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  void UnionWith(const RegionWindow& other) {
+    lo = lo < other.lo ? lo : other.lo;
+    hi = hi > other.hi ? hi : other.hi;
+  }
+};
+
+/// Computes per-measure coverage windows for attribute `attr` at key level
+/// `key_level` (numeric, non-ALL). Indexed by measure.
+std::vector<RegionWindow> ComputeCoverageWindows(const Workflow& wf, int attr,
+                                                 LevelId key_level);
+
+/// OK if `key` is feasible for `wf`; FailedPrecondition naming the first
+/// violating measure/attribute otherwise.
+Status CheckFeasible(const Workflow& wf, const DistributionKey& key);
+
+inline bool IsFeasible(const Workflow& wf, const DistributionKey& key) {
+  return CheckFeasible(wf, key).ok();
+}
+
+}  // namespace casm
+
+#endif  // CASM_CORE_COVERAGE_H_

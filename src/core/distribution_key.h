@@ -1,0 +1,98 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Distribution keys (paper §III-B): per attribute, a domain level plus an
+// optional *range annotation*. CASM uses the region-inclusion convention
+// throughout:
+//
+//   component (level G, lo, hi) with lo <= 0 <= hi means the block whose
+//   key value is v (at level G) CONTAINS all records whose level-G value
+//   lies in [v + lo, v + hi], and OWNS region v — only measure results
+//   whose region maps into v are emitted from that block.
+//
+// (lo, hi) = (0, 0) is a non-overlapping component. The dual replication
+// view — which blocks a record is copied to — is derived in the mapper:
+// a record with level-G value w reaches blocks [w - hi, w - lo] (before
+// clustering; see core/plan.h for the clustering factor).
+
+#ifndef CASM_CORE_DISTRIBUTION_KEY_H_
+#define CASM_CORE_DISTRIBUTION_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cube/granularity.h"
+#include "cube/schema.h"
+
+namespace casm {
+
+/// One attribute's part of a distribution key.
+struct KeyComponent {
+  LevelId level = 0;
+  int64_t lo = 0;  // <= 0
+  int64_t hi = 0;  // >= 0
+
+  bool annotated() const { return lo != 0 || hi != 0; }
+  /// The paper's d: the annotation width in level-G regions.
+  int64_t width() const { return hi - lo; }
+
+  friend bool operator==(const KeyComponent& a, const KeyComponent& b) {
+    return a.level == b.level && a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A full distribution key: one component per schema attribute.
+class DistributionKey {
+ public:
+  DistributionKey() = default;
+
+  /// Non-overlapping key at `gran` (every component (level, 0, 0)).
+  static DistributionKey AtGranularity(const Granularity& gran);
+
+  /// Named construction mirroring the paper's notation, e.g.
+  ///   DistributionKey::Of(schema, {{"Keyword", "word", 0, 0},
+  ///                                {"Time", "minute", 0, 10}});
+  /// Attributes not mentioned sit at ALL.
+  struct Part {
+    std::string attr;
+    std::string level;
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  static Result<DistributionKey> Of(const Schema& schema,
+                                    const std::vector<Part>& parts);
+
+  int num_attributes() const { return static_cast<int>(comps_.size()); }
+  const KeyComponent& component(int attr) const {
+    return comps_[static_cast<size_t>(attr)];
+  }
+  KeyComponent& mutable_component(int attr) {
+    return comps_[static_cast<size_t>(attr)];
+  }
+
+  /// The key's base granularity (annotations stripped).
+  Granularity granularity(const Schema& schema) const;
+
+  bool HasAnnotations() const;
+  /// Indices of annotated attributes.
+  std::vector<int> AnnotatedAttributes() const;
+
+  /// Number of distinct base blocks (before clustering): the number of
+  /// regions at the key granularity. Saturates at INT64_MAX.
+  int64_t NumBaseBlocks(const Schema& schema) const;
+
+  /// Renders as "<Keyword:word, Time:minute(0,10)>".
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const DistributionKey& a, const DistributionKey& b) {
+    return a.comps_ == b.comps_;
+  }
+
+ private:
+  std::vector<KeyComponent> comps_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_CORE_DISTRIBUTION_KEY_H_

@@ -1,0 +1,129 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/key_derivation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace casm {
+
+void ConvertOffsets(int64_t from_unit, int64_t to_unit, int64_t* lo,
+                    int64_t* hi) {
+  CASM_CHECK_LE(from_unit, to_unit);
+  CASM_CHECK_GT(from_unit, 0);
+  if (from_unit == to_unit) return;
+  *lo = FloorDiv(*lo * from_unit, to_unit);
+  *hi = FloorDiv((to_unit - from_unit) + *hi * from_unit, to_unit);
+}
+
+void ConvertLevelOffsets(const Hierarchy& h, LevelId from, LevelId to,
+                         int64_t* lo, int64_t* hi) {
+  CASM_CHECK(h.kind() == AttributeKind::kNumeric);
+  CASM_CHECK_LE(from, to);
+  if (from == to) return;
+  if (h.uniform()) {
+    ConvertOffsets(h.unit(from), h.unit(to), lo, hi);
+    return;
+  }
+  // Irregular levels: worst case over region sizes. Backwards, a window of
+  // |lo| from-regions spans at most |lo| * max_unit(from) finest values
+  // and therefore crosses at most that many / min_unit(to) boundaries.
+  // Forwards, the farthest needed point sits at most
+  // (max_unit(to) - min_unit(from)) + (hi+1) * max_unit(from) - 1 finest
+  // values past the containing to-region's start.
+  const int64_t max_from = h.max_unit(from);
+  const int64_t min_from = h.min_unit(from);
+  const int64_t min_to = h.min_unit(to);
+  const int64_t max_to = h.max_unit(to);
+  *lo = *lo >= 0 ? 0 : FloorDiv(*lo * max_from, min_to);
+  *hi = *hi <= 0 ? 0
+                 : FloorDiv((max_to - min_from) + (*hi + 1) * max_from - 1,
+                            min_to);
+}
+
+DistributionKey OpConvert(const Schema& schema,
+                          const DistributionKey& source_key,
+                          const SiblingRange& range, LevelId sibling_level) {
+  DistributionKey out = source_key;
+  const Hierarchy& h = schema.attribute(range.attr);
+  CASM_CHECK(h.kind() == AttributeKind::kNumeric);
+  KeyComponent& c = out.mutable_component(range.attr);
+
+  if (h.is_all(c.level)) return out;  // the ALL block spans every sibling
+
+  CASM_CHECK_LE(sibling_level, c.level)
+      << "source key must be feasible for the source measure";
+  int64_t lo = range.lo;
+  int64_t hi = range.hi;
+  ConvertLevelOffsets(h, sibling_level, c.level, &lo, &hi);
+  // The target needs the source's window [c.lo, c.hi] around each sibling
+  // region, displaced by [lo, hi] key-level regions — and always its own
+  // region (ownership), hence the clamp through zero.
+  c.lo = std::min<int64_t>(0, c.lo + lo);
+  c.hi = std::max<int64_t>(0, c.hi + hi);
+  return out;
+}
+
+DistributionKey OpCombine(const Schema& schema,
+                          const std::vector<DistributionKey>& keys) {
+  CASM_CHECK(!keys.empty());
+  DistributionKey out = keys.front();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const Hierarchy& h = schema.attribute(a);
+    // The common generalization: the most general level among the inputs.
+    LevelId level = 0;
+    for (const DistributionKey& k : keys) {
+      level = std::max(level, k.component(a).level);
+    }
+    KeyComponent combined{level, 0, 0};
+    if (!h.is_all(level) && h.kind() == AttributeKind::kNumeric) {
+      for (const DistributionKey& k : keys) {
+        const KeyComponent& c = k.component(a);
+        if (!c.annotated()) continue;
+        int64_t lo = c.lo;
+        int64_t hi = c.hi;
+        ConvertLevelOffsets(h, c.level, level, &lo, &hi);
+        combined.lo = std::min(combined.lo, lo);
+        combined.hi = std::max(combined.hi, hi);
+      }
+    }
+    out.mutable_component(a) = combined;
+  }
+  return out;
+}
+
+KeyDerivation DeriveDistributionKeys(const Workflow& wf) {
+  const Schema& schema = *wf.schema();
+  KeyDerivation result;
+  result.per_measure.reserve(static_cast<size_t>(wf.num_measures()));
+
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    if (m.op == MeasureOp::kAggregateRecords) {
+      // The feasible key of a basic measure is its own granularity.
+      result.per_measure.push_back(
+          DistributionKey::AtGranularity(m.granularity));
+      continue;
+    }
+    // Composite: adjust sibling sources with opConvert, then combine the
+    // source keys together with the measure's own grouping granularity.
+    std::vector<DistributionKey> inputs;
+    inputs.push_back(DistributionKey::AtGranularity(m.granularity));
+    for (const MeasureEdge& edge : m.edges) {
+      DistributionKey key = result.per_measure[static_cast<size_t>(edge.source)];
+      if (edge.rel == Relationship::kSibling) {
+        key = OpConvert(schema, key, edge.sibling,
+                        m.granularity.level(edge.sibling.attr));
+      }
+      inputs.push_back(std::move(key));
+    }
+    result.per_measure.push_back(OpCombine(schema, inputs));
+  }
+
+  result.query_key = OpCombine(schema, result.per_measure);
+  return result;
+}
+
+}  // namespace casm

@@ -1,0 +1,74 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Derivation of feasible distribution keys from a workflow: the opConvert
+// and opCombine operators of paper §III-B.2 (Tables III and IV) and the
+// topological sweep that produces a per-measure key and the minimal
+// feasible key of the whole query.
+//
+// Offsets are converted between levels conservatively: an offset range
+// (lo, hi) expressed at level A, anchored at a region nested inside a
+// level-B region (unit sizes uA <= uB), becomes
+//
+//   newLo = FloorDiv(lo * uA, uB)
+//   newHi = FloorDiv((uB - uA) + hi * uA, uB)
+//
+// — the worst case over the inner region's alignment. This is the paper's
+// `map` function (e.g. a day(-10,+60) window maps to month(-1,+2) with
+// 30-day months).
+//
+// For queries without sibling edges every annotation stays (0, 0) and the
+// sweep computes exactly the least common ancestor of the measure
+// granularities — Theorem 2.
+
+#ifndef CASM_CORE_KEY_DERIVATION_H_
+#define CASM_CORE_KEY_DERIVATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution_key.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// Converts the offset range [*lo, *hi] from level-unit `from_unit` to
+/// level-unit `to_unit` (both in finest units, from_unit <= to_unit),
+/// worst case over alignment. Exposed for tests.
+void ConvertOffsets(int64_t from_unit, int64_t to_unit, int64_t* lo,
+                    int64_t* hi);
+
+/// Hierarchy-aware offset conversion: converts [*lo, *hi] expressed in
+/// level-`from` regions of `h` into level-`to` regions (to at least as
+/// general). Exact for uniform hierarchies; conservative worst case over
+/// region sizes for irregular ones — with 28..31-day calendar months a
+/// day(-10,+60) window converts to month(-1,+3), the paper's example.
+void ConvertLevelOffsets(const Hierarchy& h, LevelId from, LevelId to,
+                         int64_t* lo, int64_t* hi);
+
+/// opConvert (paper Table III): widens `source_key` so that a block also
+/// covers the sibling window `range` (whose offsets are expressed at
+/// `sibling_level` of attribute `range.attr`).
+DistributionKey OpConvert(const Schema& schema,
+                          const DistributionKey& source_key,
+                          const SiblingRange& range, LevelId sibling_level);
+
+/// opCombine (paper Table IV): the least key at least as general as every
+/// input — per attribute the most general level, with every annotation
+/// remapped to that level and unioned.
+DistributionKey OpCombine(const Schema& schema,
+                          const std::vector<DistributionKey>& keys);
+
+/// Result of the derivation sweep.
+struct KeyDerivation {
+  /// Minimal feasible key of measure i (considering its whole upstream).
+  std::vector<DistributionKey> per_measure;
+  /// Minimal feasible key of the entire query (opCombine of the above).
+  DistributionKey query_key;
+};
+
+/// Runs the §III-B.2 sweep over `wf` in dependency order.
+KeyDerivation DeriveDistributionKeys(const Workflow& wf);
+
+}  // namespace casm
+
+#endif  // CASM_CORE_KEY_DERIVATION_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/keygen.h"
+
+namespace casm {
+
+std::vector<KeyGenAttr> BuildKeyGen(const Schema& schema,
+                                    const ExecutionPlan& plan) {
+  std::vector<KeyGenAttr> out;
+  out.reserve(static_cast<size_t>(schema.num_attributes()));
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const KeyComponent& c = plan.key.component(a);
+    KeyGenAttr kg;
+    kg.level = c.level;
+    kg.annotated = c.annotated();
+    kg.lo = c.lo;
+    kg.hi = c.hi;
+    kg.cf = kg.annotated ? plan.clustering_factor : 1;
+    const int64_t regions = schema.attribute(a).LevelValueCount(c.level);
+    kg.max_block = FloorDiv(regions - 1, kg.cf);
+    out.push_back(kg);
+  }
+  return out;
+}
+
+bool BlockOwnsRegion(const Schema& schema, const Measure& m,
+                     const std::vector<KeyGenAttr>& keygen,
+                     const int64_t* block, const Coords& coords) {
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const KeyGenAttr& kg = keygen[static_cast<size_t>(a)];
+    const int64_t g = schema.attribute(a).MapUp(
+        coords[static_cast<size_t>(a)], m.granularity.level(a), kg.level);
+    if (FloorDiv(g, kg.cf) != block[a]) return false;
+  }
+  return true;
+}
+
+}  // namespace casm

@@ -1,0 +1,269 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/multijob_evaluator.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "mr/engine.h"
+
+namespace casm {
+namespace {
+
+/// Evaluates one basic measure with its own repartition-the-raw-data job.
+Status RunBasicJob(const Workflow& wf, int index, const Table& table,
+                   const ParallelEvalOptions& options, MapReduceEngine* engine,
+                   MeasureResultSet* results, MapReduceMetrics* total) {
+  const Schema& schema = *wf.schema();
+  const Measure& m = wf.measure(index);
+  const int num_attrs = schema.num_attributes();
+
+  std::mutex mu;
+  MeasureValueMap& out = results->mutable_values(index);
+
+  MapReduceSpec spec;
+  spec.num_mappers = options.num_mappers;
+  spec.num_reducers = options.num_reducers;
+  spec.key_width = num_attrs;
+  spec.value_width = 1;
+  spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
+    for (int64_t r = begin; r < end; ++r) {
+      const int64_t* row = table.row(r);
+      Coords coords = RegionOfRecord(schema, m.granularity, row);
+      int64_t value = row[m.field];
+      emitter->Emit(coords.data(), &value);
+    }
+  };
+  spec.reduce_fn = [&](int reducer, const GroupView& group) {
+    Accumulator acc(m.fn);
+    for (int64_t i = 0; i < group.size(); ++i) {
+      acc.Add(static_cast<double>(group.value(i)[0]));
+    }
+    Coords coords(group.key(), group.key() + num_attrs);
+    std::unique_lock<std::mutex> lock(mu);
+    out.emplace(std::move(coords), acc.Result());
+  };
+  CASM_ASSIGN_OR_RETURN(MapReduceMetrics metrics,
+                        engine->Run(spec, table.num_rows()));
+  total->Accumulate(metrics);
+  return Status::OK();
+}
+
+/// Evaluates one composite measure by repartitioning its sources' results
+/// (a parallel join). Input rows: [edge_id, source coords..., value-bits].
+Status RunCompositeJob(const Workflow& wf, int index,
+                       const ParallelEvalOptions& options,
+                       MapReduceEngine* engine, MeasureResultSet* results,
+                       MapReduceMetrics* total) {
+  const Schema& schema = *wf.schema();
+  const Measure& m = wf.measure(index);
+  const int num_attrs = schema.num_attributes();
+  const int row_width = 1 + num_attrs + 1;
+
+  // Join key granularity: the LCA of the target and every parent-edge
+  // source (values joining "downwards" must share a group with their
+  // children).
+  Granularity join_gran = m.granularity;
+  for (const MeasureEdge& e : m.edges) {
+    if (e.rel == Relationship::kParentChild) {
+      join_gran = Granularity::Lca(join_gran, wf.measure(e.source).granularity);
+    }
+  }
+
+  // Materialize the job input: one row per (edge, source result).
+  std::vector<int64_t> input;
+  for (size_t ei = 0; ei < m.edges.size(); ++ei) {
+    const MeasureEdge& e = m.edges[ei];
+    for (const auto& [coords, value] : results->values(e.source)) {
+      input.push_back(static_cast<int64_t>(ei));
+      input.insert(input.end(), coords.begin(), coords.end());
+      input.push_back(std::bit_cast<int64_t>(value));
+    }
+  }
+  const int64_t num_input = static_cast<int64_t>(input.size()) / row_width;
+
+  std::mutex mu;
+  MeasureValueMap& out = results->mutable_values(index);
+
+  MapReduceSpec spec;
+  spec.num_mappers = options.num_mappers;
+  spec.num_reducers = options.num_reducers;
+  spec.key_width = num_attrs;
+  spec.value_width = row_width;  // [edge, target-or-parent coords, bits]
+  spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
+    std::vector<int64_t> value(static_cast<size_t>(row_width));
+    for (int64_t r = begin; r < end; ++r) {
+      const int64_t* row = input.data() + r * row_width;
+      const size_t ei = static_cast<size_t>(row[0]);
+      const MeasureEdge& e = m.edges[ei];
+      const Measure& src = wf.measure(e.source);
+      Coords coords(row + 1, row + 1 + num_attrs);
+      value[0] = row[0];
+      value[static_cast<size_t>(row_width) - 1] = row[row_width - 1];
+      auto emit_for = [&](const Coords& target_or_parent,
+                          const Granularity& gran) {
+        Coords key = MapRegionUp(schema, gran, target_or_parent, join_gran);
+        std::copy(target_or_parent.begin(), target_or_parent.end(),
+                  value.begin() + 1);
+        emitter->Emit(key.data(), value.data());
+      };
+      switch (e.rel) {
+        case Relationship::kSelf:
+          emit_for(coords, m.granularity);
+          break;
+        case Relationship::kChildParent:
+          emit_for(MapRegionUp(schema, src.granularity, coords, m.granularity),
+                   m.granularity);
+          break;
+        case Relationship::kParentChild:
+          emit_for(coords, src.granularity);
+          break;
+        case Relationship::kSibling: {
+          // Map-side window expansion: a source at c feeds targets in
+          // [c - hi, c - lo], clipped to the domain.
+          const SiblingRange& range = e.sibling;
+          const size_t attr = static_cast<size_t>(range.attr);
+          const int64_t domain_max =
+              schema.attribute(range.attr)
+                  .LevelValueCount(m.granularity.level(range.attr)) -
+              1;
+          int64_t first = std::max<int64_t>(0, coords[attr] - range.hi);
+          int64_t last = std::min(domain_max, coords[attr] - range.lo);
+          Coords target = coords;
+          for (int64_t t = first; t <= last; ++t) {
+            target[attr] = t;
+            emit_for(target, m.granularity);
+          }
+          break;
+        }
+      }
+    }
+  };
+  spec.reduce_fn = [&](int reducer, const GroupView& group) {
+    // Split the group's rows per edge.
+    std::vector<std::unordered_map<Coords, double, CoordsHash>> by_edge(
+        m.edges.size());
+    std::vector<std::vector<std::pair<Coords, double>>> contributions(
+        m.edges.size());
+    for (int64_t i = 0; i < group.size(); ++i) {
+      const int64_t* v = group.value(i);
+      const size_t ei = static_cast<size_t>(v[0]);
+      Coords coords(v + 1, v + 1 + num_attrs);
+      double value = std::bit_cast<double>(v[row_width - 1]);
+      if (m.edges[ei].rel == Relationship::kParentChild) {
+        by_edge[ei].emplace(std::move(coords), value);
+      } else {
+        contributions[ei].emplace_back(std::move(coords), value);
+      }
+    }
+
+    MeasureValueMap local;
+    if (m.op == MeasureOp::kExpression) {
+      // Seed with the first self edge; gather the other operands.
+      size_t seed = 0;
+      for (size_t ei = 0; ei < m.edges.size(); ++ei) {
+        if (m.edges[ei].rel == Relationship::kSelf) {
+          seed = ei;
+          break;
+        }
+      }
+      // Index non-seed self edges for lookup.
+      std::vector<std::unordered_map<Coords, double, CoordsHash>> self_maps(
+          m.edges.size());
+      for (size_t ei = 0; ei < m.edges.size(); ++ei) {
+        if (ei == seed || m.edges[ei].rel != Relationship::kSelf) continue;
+        for (auto& [coords, value] : contributions[ei]) {
+          self_maps[ei].emplace(coords, value);
+        }
+      }
+      std::vector<double> operands(m.edges.size());
+      for (const auto& [coords, seed_value] : contributions[seed]) {
+        bool complete = true;
+        for (size_t ei = 0; ei < m.edges.size() && complete; ++ei) {
+          const MeasureEdge& e = m.edges[ei];
+          if (ei == seed) {
+            operands[ei] = seed_value;
+          } else if (e.rel == Relationship::kSelf) {
+            auto it = self_maps[ei].find(coords);
+            if (it == self_maps[ei].end()) {
+              complete = false;
+            } else {
+              operands[ei] = it->second;
+            }
+          } else {  // kParentChild
+            Coords parent = MapRegionUp(schema, m.granularity, coords,
+                                        wf.measure(e.source).granularity);
+            auto it = by_edge[ei].find(parent);
+            if (it == by_edge[ei].end()) {
+              complete = false;
+            } else {
+              operands[ei] = it->second;
+            }
+          }
+        }
+        if (complete) local.emplace(coords, m.expr.Eval(operands.data()));
+      }
+    } else {  // kAggregateSources
+      std::unordered_map<Coords, Accumulator, CoordsHash> acc;
+      for (size_t ei = 0; ei < m.edges.size(); ++ei) {
+        if (m.edges[ei].rel == Relationship::kParentChild) continue;
+        for (const auto& [coords, value] : contributions[ei]) {
+          auto it = acc.find(coords);
+          if (it == acc.end()) it = acc.emplace(coords, Accumulator(m.fn)).first;
+          it->second.Add(value);
+        }
+      }
+      for (size_t ei = 0; ei < m.edges.size(); ++ei) {
+        if (m.edges[ei].rel != Relationship::kParentChild) continue;
+        const Measure& src = wf.measure(m.edges[ei].source);
+        for (auto& [coords, accumulator] : acc) {
+          Coords parent =
+              MapRegionUp(schema, m.granularity, coords, src.granularity);
+          auto it = by_edge[ei].find(parent);
+          if (it != by_edge[ei].end()) accumulator.Add(it->second);
+        }
+      }
+      for (auto& [coords, accumulator] : acc) {
+        local.emplace(coords, accumulator.Result());
+      }
+    }
+
+    std::unique_lock<std::mutex> lock(mu);
+    for (auto& [coords, value] : local) out.emplace(coords, value);
+  };
+  CASM_ASSIGN_OR_RETURN(MapReduceMetrics metrics,
+                        engine->Run(spec, num_input));
+  total->Accumulate(metrics);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
+                                        const Table& table,
+                                        const ParallelEvalOptions& options) {
+  if (options.phase != ParallelEvalPhase::kFull) {
+    return Status::InvalidArgument(
+        "the multi-job baseline only supports full evaluation");
+  }
+  MapReduceEngine engine(options.num_threads);
+  MultiJobResult out;
+  out.results = MeasureResultSet(wf.num_measures());
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    if (wf.measure(i).op == MeasureOp::kAggregateRecords) {
+      CASM_RETURN_IF_ERROR(RunBasicJob(wf, i, table, options, &engine,
+                                       &out.results, &out.total_metrics));
+    } else {
+      CASM_RETURN_IF_ERROR(RunCompositeJob(wf, i, options, &engine,
+                                           &out.results, &out.total_metrics));
+    }
+    ++out.jobs;
+  }
+  return out;
+}
+
+}  // namespace casm

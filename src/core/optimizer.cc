@@ -1,0 +1,145 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/optimizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/cost_model.h"
+#include "core/coverage.h"
+#include "core/key_derivation.h"
+
+namespace casm {
+namespace {
+
+/// Rolls the annotated attributes in `except` up to ALL, keeping `keep`.
+DistributionKey RollUpAnnotated(const Schema& schema,
+                                const DistributionKey& key, int keep) {
+  DistributionKey out = key;
+  for (int a = 0; a < key.num_attributes(); ++a) {
+    if (a == keep || !key.component(a).annotated()) continue;
+    out.mutable_component(a) =
+        KeyComponent{schema.attribute(a).all_level(), 0, 0};
+  }
+  return out;
+}
+
+ExecutionPlan MakePlan(const Schema& schema, const OptimizerOptions& options,
+                       DistributionKey key, int64_t cf) {
+  ExecutionPlan plan;
+  plan.key = std::move(key);
+  plan.clustering_factor = cf;
+  plan.early_aggregation = options.early_aggregation;
+  plan.combined_sort = options.combined_sort;
+  const int64_t n_g = plan.key.NumBaseBlocks(schema);
+  plan.predicted_max_load =
+      OverlappingMaxLoad(options.num_records, n_g, plan.AnnotationWidth(),
+                         options.num_reducers, cf);
+  return plan;
+}
+
+}  // namespace
+
+Result<std::vector<ExecutionPlan>> CandidatePlans(
+    const Workflow& wf, const OptimizerOptions& options) {
+  if (options.num_reducers < 1) {
+    return Status::InvalidArgument("need at least one reducer");
+  }
+  if (options.num_records < 1) {
+    return Status::InvalidArgument(
+        "cost model needs the input size (num_records)");
+  }
+  const Schema& schema = *wf.schema();
+  const DistributionKey minimal = DeriveDistributionKeys(wf).query_key;
+  CASM_CHECK(IsFeasible(wf, minimal))
+      << "derived minimal key is infeasible: " << minimal.ToString(schema);
+
+  std::vector<ExecutionPlan> plans;
+  const std::vector<int> annotated = minimal.AnnotatedAttributes();
+
+  if (annotated.empty()) {
+    // Theorem 2 territory: the minimal key (the LCA of the measure
+    // granularities) is optimal under uniform data; no clustering applies.
+    plans.push_back(MakePlan(schema, options, minimal, 1));
+    return plans;
+  }
+
+  // One annotated attribute at a time, others rolled up to ALL (§IV-B),
+  // with diversified clustering factors for run-time selection (§V). The
+  // min-blocks heuristic counts *estimated non-empty* blocks: under skewed
+  // data the occupied fraction of the grid is what balances reducers.
+  const double occupancy =
+      std::clamp(options.estimated_block_occupancy, 1e-6, 1.0);
+  for (int keep : annotated) {
+    DistributionKey key = RollUpAnnotated(schema, minimal, keep);
+    const int64_t n_g = key.NumBaseBlocks(schema);
+    const int64_t d = key.component(keep).width();
+    int64_t cf_cap = std::max<int64_t>(1, n_g);
+    if (options.min_blocks_per_reducer > 0) {
+      cf_cap = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 occupancy * static_cast<double>(n_g) /
+                 static_cast<double>(options.min_blocks_per_reducer *
+                                     options.num_reducers)));
+    }
+    const int64_t cf_opt = std::min(
+        cf_cap, OptimalClusteringFactor(options.num_records, n_g, d,
+                                        options.num_reducers, 0));
+    std::vector<int64_t> factors = {cf_opt, std::max<int64_t>(1, cf_opt / 4),
+                                    std::min(cf_cap, cf_opt * 4), int64_t{1}};
+    std::sort(factors.begin(), factors.end());
+    factors.erase(std::unique(factors.begin(), factors.end()), factors.end());
+    for (int64_t cf : factors) {
+      plans.push_back(MakePlan(schema, options, key, cf));
+    }
+  }
+
+  // Fallback: every annotated attribute rolled up (non-overlapping).
+  DistributionKey rolled = RollUpAnnotated(schema, minimal, /*keep=*/-1);
+  plans.push_back(MakePlan(schema, options, rolled, 1));
+
+  for (const ExecutionPlan& plan : plans) {
+    Status feasible = CheckFeasible(wf, plan.key);
+    CASM_CHECK(feasible.ok()) << "optimizer produced an infeasible plan "
+                              << plan.ToString(schema) << ": "
+                              << feasible.ToString();
+  }
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const ExecutionPlan& a, const ExecutionPlan& b) {
+                     return a.predicted_max_load < b.predicted_max_load;
+                   });
+  return plans;
+}
+
+Result<ExecutionPlan> OptimizePlan(const Workflow& wf,
+                                   const OptimizerOptions& options) {
+  CASM_ASSIGN_OR_RETURN(std::vector<ExecutionPlan> plans,
+                        CandidatePlans(wf, options));
+  return plans.front();
+}
+
+Result<std::string> ExplainPlans(const Workflow& wf,
+                                 const OptimizerOptions& options) {
+  const Schema& schema = *wf.schema();
+  CASM_ASSIGN_OR_RETURN(std::vector<ExecutionPlan> plans,
+                        CandidatePlans(wf, options));
+  const DistributionKey minimal = DeriveDistributionKeys(wf).query_key;
+  std::string out;
+  out += "minimal feasible key: " + minimal.ToString(schema) + "\n";
+  out += "reducers: " + std::to_string(options.num_reducers) +
+         ", records: " + std::to_string(options.num_records);
+  if (options.min_blocks_per_reducer > 0) {
+    out += ", min blocks/reducer: " +
+           std::to_string(options.min_blocks_per_reducer) +
+           " (occupancy estimate " +
+           std::to_string(options.estimated_block_occupancy) + ")";
+  }
+  out += "\ncandidates (best first):\n";
+  for (size_t i = 0; i < plans.size(); ++i) {
+    out += (i == 0 ? "  * " : "    ") + plans[i].ToString(schema) +
+           "  blocks=" + std::to_string(plans[i].NumBlocks(schema)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace casm

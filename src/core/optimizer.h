@@ -1,0 +1,58 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// The distribution-scheme optimizer (paper §IV): derives the minimal
+// feasible key, enumerates candidate plans (one annotated attribute at a
+// time, the rest rolled to ALL, plus the fully rolled-up fallback),
+// optimizes the clustering factor per candidate with the analytical model,
+// and picks the plan minimizing the predicted heaviest reducer workload.
+
+#ifndef CASM_CORE_OPTIMIZER_H_
+#define CASM_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+struct OptimizerOptions {
+  /// Reducers the plan will run on (the paper's m).
+  int num_reducers = 8;
+  /// Input size N for the cost model.
+  int64_t num_records = 0;
+  /// Enforce at least this many blocks per reducer (0 = unconstrained);
+  /// the §V heuristic against skew ("2Blocks" / "4Blocks" plans).
+  int64_t min_blocks_per_reducer = 0;
+  /// Estimated fraction of distribution blocks that are non-empty (§V: the
+  /// min-blocks heuristic counts *estimated* blocks, which under skewed
+  /// data is below the grid size). Obtain from
+  /// EstimateBlockOccupancy (core/skew.h); 1.0 = assume uniform data.
+  double estimated_block_occupancy = 1.0;
+  /// Forwarded into every emitted plan.
+  bool early_aggregation = false;
+  bool combined_sort = false;
+};
+
+/// Enumerates feasible candidate plans for `wf`, diversified over the
+/// annotated attribute and the clustering factor (§V run-time selection
+/// consumes this list). Every returned plan carries its predicted load.
+/// The first element is the optimizer's pick (minimum predicted load).
+Result<std::vector<ExecutionPlan>> CandidatePlans(
+    const Workflow& wf, const OptimizerOptions& options);
+
+/// The optimizer's pick: minimum predicted heaviest workload.
+Result<ExecutionPlan> OptimizePlan(const Workflow& wf,
+                                   const OptimizerOptions& options);
+
+/// Human-readable explanation of the optimizer's decision: the derived
+/// minimal key, every candidate plan with its predicted heaviest load,
+/// and the winner.
+Result<std::string> ExplainPlans(const Workflow& wf,
+                                 const OptimizerOptions& options);
+
+}  // namespace casm
+
+#endif  // CASM_CORE_OPTIMIZER_H_

@@ -1,0 +1,279 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/parallel_evaluator.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "core/coverage.h"
+#include "core/keygen.h"
+#include "local/derivation.h"
+#include "mr/engine.h"
+
+namespace casm {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Shared mutable state for result assembly across reducer tasks.
+struct ResultSink {
+  std::mutex mu;
+  MeasureResultSet results;
+  LocalEvalStats local_stats;
+  Status first_error;
+  int64_t blocks = 0;
+  int64_t filtered = 0;
+
+  void Merge(MeasureResultSet&& block_results, const LocalEvalStats& stats,
+             int64_t filtered_here) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++blocks;
+    filtered += filtered_here;
+    local_stats.Accumulate(stats);
+    Status s = results.MergeDisjoint(std::move(block_results));
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+};
+
+/// Drops results whose region the block does not own; returns the kept
+/// set and counts the dropped records.
+MeasureResultSet FilterOwned(const Workflow& wf,
+                             const std::vector<KeyGenAttr>& keygen,
+                             const int64_t* block, MeasureResultSet&& all,
+                             int64_t* filtered) {
+  const Schema& schema = *wf.schema();
+  MeasureResultSet kept(wf.num_measures());
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    MeasureValueMap& out = kept.mutable_values(i);
+    for (auto& [coords, value] : all.mutable_values(i)) {
+      if (BlockOwnsRegion(schema, m, keygen, block, coords)) {
+        out.emplace(coords, value);
+      } else {
+        ++*filtered;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+Result<ParallelEvalResult> EvaluateParallel(
+    const Workflow& wf, const Table& table, const ExecutionPlan& plan,
+    const ParallelEvalOptions& options) {
+  const Schema& schema = *wf.schema();
+  CASM_RETURN_IF_ERROR(CheckFeasible(wf, plan.key));
+  if (plan.clustering_factor < 1) {
+    return Status::InvalidArgument("clustering factor must be >= 1");
+  }
+  if (plan.early_aggregation) {
+    for (int i : wf.BasicMeasures()) {
+      if (ClassOf(wf.measure(i).fn) == AggregateClass::kHolistic) {
+        return Status::InvalidArgument(
+            "early aggregation requires distributive/algebraic basic "
+            "measures; '" +
+            wf.measure(i).name + "' is holistic");
+      }
+    }
+  }
+
+  const int num_attrs = schema.num_attributes();
+  const std::vector<KeyGenAttr> keygen = BuildKeyGen(schema, plan);
+  const SortScanEvaluator local_eval(&wf);
+  // Referenced by the map/reduce lambdas below: must outlive engine.Run().
+  const std::vector<int> basics = wf.BasicMeasures();
+  const int early_agg_value_width = 1 + num_attrs + Accumulator::kPartialSize;
+
+  ParallelEvalResult out;
+  ResultSink sink;
+  sink.results = MeasureResultSet(wf.num_measures());
+
+  MapReduceEngine engine(options.num_threads);
+  MapReduceSpec spec;
+  spec.num_mappers = options.num_mappers;
+  spec.num_reducers = options.num_reducers;
+  spec.key_width = num_attrs;
+  spec.map_only = options.phase == ParallelEvalPhase::kMapOnly;
+  spec.skip_reduce = options.phase == ParallelEvalPhase::kShuffleOnly;
+  spec.reducer_memory_limit_pairs = options.reducer_memory_limit_pairs;
+
+  DistributedFile::Assignment dfs_assignment;
+  if (options.input_file != nullptr) {
+    const DistributedFile& file = *options.input_file;
+    dfs_assignment = file.AssignSplits(options.num_mappers);
+    out.input_locality = dfs_assignment.LocalityFraction();
+    spec.split_fn = [&file, &dfs_assignment](int mapper) {
+      std::vector<std::pair<int64_t, int64_t>> ranges;
+      for (int b : dfs_assignment.mapper_blocks[static_cast<size_t>(mapper)]) {
+        ranges.emplace_back(file.block(b).begin_row, file.block(b).end_row);
+      }
+      return ranges;
+    };
+  }
+
+  if (!plan.early_aggregation) {
+    // ---- Raw-record redistribution.
+    spec.value_width = table.row_width();
+    spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
+      std::vector<int64_t> g(static_cast<size_t>(num_attrs));
+      std::vector<int64_t> key(static_cast<size_t>(num_attrs));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t* row = table.row(r);
+        for (int a = 0; a < num_attrs; ++a) {
+          g[static_cast<size_t>(a)] = schema.attribute(a).MapFromFinest(
+              row[a], keygen[static_cast<size_t>(a)].level);
+        }
+        ForEachBlock(keygen, g, &key,
+                     [&](const int64_t* k) { emitter->Emit(k, row); });
+      }
+    };
+    if (plan.combined_sort) {
+      spec.value_less = [&local_eval](const int64_t* a, const int64_t* b) {
+        return local_eval.RowLess(a, b);
+      };
+    }
+    spec.reduce_fn = [&](int reducer, const GroupView& group) {
+      std::vector<int64_t> rows = group.CopyValues();
+      LocalEvalStats stats;
+      const LocalEvalPhase local_phase =
+          options.phase == ParallelEvalPhase::kLocalSortOnly
+              ? LocalEvalPhase::kSortOnly
+              : LocalEvalPhase::kFull;
+      MeasureResultSet block_results =
+          local_eval.Evaluate(rows.data(), group.size(),
+                              plan.combined_sort, local_phase, &stats);
+      if (options.phase != ParallelEvalPhase::kFull) {
+        sink.Merge(MeasureResultSet(wf.num_measures()), stats, 0);
+        return;
+      }
+      int64_t filtered = 0;
+      MeasureResultSet kept = FilterOwned(wf, keygen, group.key(),
+                                          std::move(block_results), &filtered);
+      sink.Merge(std::move(kept), stats, filtered);
+    };
+  } else {
+    // ---- Early aggregation (§III-D): mappers pre-aggregate the basic
+    // measures per (block, measure, region) and ship mergeable partial
+    // states instead of raw records.
+    spec.value_width = early_agg_value_width;
+
+    spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
+      // Local aggregation state: (block + measure + region) -> accumulator.
+      struct VecHash {
+        size_t operator()(const std::vector<int64_t>& v) const {
+          return CoordsHash()(v);
+        }
+      };
+      std::unordered_map<std::vector<int64_t>, Accumulator, VecHash> partials;
+      std::vector<int64_t> g(static_cast<size_t>(num_attrs));
+      std::vector<int64_t> key(static_cast<size_t>(num_attrs));
+      std::vector<int64_t> group_key;
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t* row = table.row(r);
+        for (int a = 0; a < num_attrs; ++a) {
+          g[static_cast<size_t>(a)] = schema.attribute(a).MapFromFinest(
+              row[a], keygen[static_cast<size_t>(a)].level);
+        }
+        ForEachBlock(keygen, g, &key, [&](const int64_t* k) {
+          for (int mi : basics) {
+            const Measure& m = wf.measure(mi);
+            group_key.assign(k, k + num_attrs);
+            group_key.push_back(mi);
+            Coords coords = RegionOfRecord(schema, m.granularity, row);
+            group_key.insert(group_key.end(), coords.begin(), coords.end());
+            auto it = partials.find(group_key);
+            if (it == partials.end()) {
+              it = partials.emplace(group_key, Accumulator(m.fn)).first;
+            }
+            it->second.Add(static_cast<double>(row[m.field]));
+          }
+        });
+      }
+      // Flush: one pair per (block, measure, region).
+      std::vector<int64_t> value(static_cast<size_t>(early_agg_value_width));
+      double partial[Accumulator::kPartialSize];
+      for (const auto& [gk, acc] : partials) {
+        const int64_t* block = gk.data();
+        value[0] = gk[static_cast<size_t>(num_attrs)];  // measure id
+        for (int a = 0; a < num_attrs; ++a) {
+          value[static_cast<size_t>(1 + a)] =
+              gk[static_cast<size_t>(num_attrs + 1 + a)];
+        }
+        acc.ToPartial(partial);
+        for (int i = 0; i < Accumulator::kPartialSize; ++i) {
+          value[static_cast<size_t>(1 + num_attrs + i)] =
+              std::bit_cast<int64_t>(partial[i]);
+        }
+        emitter->Emit(block, value.data());
+      }
+    };
+    spec.reduce_fn = [&](int reducer, const GroupView& group) {
+      LocalEvalStats stats;
+      if (options.phase != ParallelEvalPhase::kFull) {
+        sink.Merge(MeasureResultSet(wf.num_measures()), stats, 0);
+        return;
+      }
+      auto eval_start = std::chrono::steady_clock::now();
+      // Merge partial states per (measure, region).
+      std::vector<std::unordered_map<Coords, Accumulator, CoordsHash>> acc(
+          static_cast<size_t>(wf.num_measures()));
+      double partial[Accumulator::kPartialSize];
+      for (int64_t i = 0; i < group.size(); ++i) {
+        const int64_t* v = group.value(i);
+        const int mi = static_cast<int>(v[0]);
+        Coords coords(v + 1, v + 1 + num_attrs);
+        for (int p = 0; p < Accumulator::kPartialSize; ++p) {
+          partial[p] = std::bit_cast<double>(v[1 + num_attrs + p]);
+        }
+        Accumulator incoming =
+            Accumulator::FromPartial(wf.measure(mi).fn, partial);
+        auto& map = acc[static_cast<size_t>(mi)];
+        auto it = map.find(coords);
+        if (it == map.end()) {
+          map.emplace(std::move(coords), std::move(incoming));
+        } else {
+          it->second.Merge(incoming);
+        }
+      }
+      MeasureResultSet block_results(wf.num_measures());
+      for (int mi : wf.BasicMeasures()) {
+        MeasureValueMap& out_map = block_results.mutable_values(mi);
+        for (auto& [coords, accumulator] : acc[static_cast<size_t>(mi)]) {
+          out_map.emplace(coords, accumulator.Result());
+        }
+      }
+      for (int i = 0; i < wf.num_measures(); ++i) {
+        if (wf.measure(i).op != MeasureOp::kAggregateRecords) {
+          DeriveCompositeMeasure(wf, i, &block_results);
+        }
+      }
+      stats.records += group.size();
+      stats.eval_seconds += SecondsSince(eval_start);
+      int64_t filtered = 0;
+      MeasureResultSet kept = FilterOwned(wf, keygen, group.key(),
+                                          std::move(block_results), &filtered);
+      sink.Merge(std::move(kept), stats, filtered);
+    };
+  }
+
+  CASM_ASSIGN_OR_RETURN(out.metrics, engine.Run(spec, table.num_rows()));
+  if (!sink.first_error.ok()) return sink.first_error;
+  out.results = std::move(sink.results);
+  out.local_stats = sink.local_stats;
+  out.blocks_evaluated = sink.blocks;
+  out.results_filtered = sink.filtered;
+  return out;
+}
+
+}  // namespace casm

@@ -1,0 +1,73 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// The parallel evaluation algorithm of paper §III: redistribute records
+// into (possibly overlapping, possibly clustered) blocks keyed by the
+// plan's distribution key, evaluate the whole workflow locally inside
+// every block with the sort/scan algorithm, filter each block's results to
+// the regions it owns, and union the per-block results — which the
+// feasibility of the key guarantees is exactly the query answer, with no
+// duplicates and no cross-block combination step.
+
+#ifndef CASM_CORE_PARALLEL_EVALUATOR_H_
+#define CASM_CORE_PARALLEL_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "data/table.h"
+#include "dfs/dfs.h"
+#include "local/measure_table.h"
+#include "local/sortscan_evaluator.h"
+#include "measure/workflow.h"
+#include "mr/metrics.h"
+
+namespace casm {
+
+/// How much of the pipeline to run (the Fig 4(d) cost breakdown).
+enum class ParallelEvalPhase {
+  kMapOnly,       // fetch records + key generation only
+  kShuffleOnly,   // + shuffle and framework sort (no reduce work)
+  kLocalSortOnly, // + in-reducer local sort (no evaluation)
+  kFull,          // the real evaluation
+};
+
+struct ParallelEvalOptions {
+  int num_mappers = 4;
+  int num_reducers = 4;
+  /// Worker threads executing the (virtual) tasks; <= 0 picks hardware
+  /// concurrency.
+  int num_threads = 0;
+  ParallelEvalPhase phase = ParallelEvalPhase::kFull;
+  /// Per-reducer framework-sort memory budget in pairs; exceeding it
+  /// spills sorted runs to disk (external sort). 0 = unlimited.
+  int64_t reducer_memory_limit_pairs = 0;
+  /// Optional block placement of the input table: mappers then read the
+  /// locality-scheduled splits of this file instead of contiguous chunks.
+  /// Must describe exactly `table.num_rows()` rows. Not owned.
+  const DistributedFile* input_file = nullptr;
+};
+
+struct ParallelEvalResult {
+  MeasureResultSet results;       // empty unless phase == kFull
+  MapReduceMetrics metrics;       // engine metrics (per-reducer workloads)
+  LocalEvalStats local_stats;     // aggregated per-block evaluator work
+  int64_t blocks_evaluated = 0;
+  int64_t results_filtered = 0;   // measure records dropped by ownership
+  /// Fraction of input blocks read replica-locally (1.0 without a
+  /// DistributedFile).
+  double input_locality = 1.0;
+};
+
+/// Evaluates `wf` over `table` with `plan`. Fails with FailedPrecondition
+/// if the plan's key is infeasible for the workflow, and with
+/// InvalidArgument if early aggregation is requested while a basic measure
+/// is holistic (paper §III-D requires distributive/algebraic partials).
+Result<ParallelEvalResult> EvaluateParallel(const Workflow& wf,
+                                            const Table& table,
+                                            const ExecutionPlan& plan,
+                                            const ParallelEvalOptions& options);
+
+}  // namespace casm
+
+#endif  // CASM_CORE_PARALLEL_EVALUATOR_H_

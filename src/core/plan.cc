@@ -1,0 +1,48 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/plan.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace casm {
+
+int64_t ExecutionPlan::NumBlocks(const Schema& schema) const {
+  CASM_CHECK_GE(clustering_factor, 1);
+  int64_t total = 1;
+  for (int a = 0; a < key.num_attributes(); ++a) {
+    const KeyComponent& c = key.component(a);
+    int64_t count = schema.attribute(a).LevelValueCount(c.level);
+    if (c.annotated()) count = CeilDiv(count, clustering_factor);
+    if (count > 0 && total > std::numeric_limits<int64_t>::max() / count) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    total *= count;
+  }
+  return total;
+}
+
+int64_t ExecutionPlan::AnnotationWidth() const {
+  int64_t d = 0;
+  for (int a = 0; a < key.num_attributes(); ++a) {
+    d += key.component(a).width();
+  }
+  return d;
+}
+
+std::string ExecutionPlan::ToString(const Schema& schema) const {
+  std::string out = "plan{key=" + key.ToString(schema);
+  out += ", cf=" + std::to_string(clustering_factor);
+  if (early_aggregation) out += ", early_agg";
+  if (combined_sort) out += ", combined_sort";
+  if (predicted_max_load > 0) {
+    out += ", predicted_max_load=" +
+           std::to_string(static_cast<int64_t>(predicted_max_load));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace casm

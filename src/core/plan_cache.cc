@@ -1,0 +1,39 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "core/plan_cache.h"
+
+#include "core/coverage.h"
+
+namespace casm {
+
+void PlanCache::Remember(const ExecutionPlan& plan,
+                         double observed_max_load) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.plan.key == plan.key &&
+        entry.plan.clustering_factor == plan.clustering_factor) {
+      entry.score = std::min(entry.score, observed_max_load);
+      return;
+    }
+  }
+  entries_.push_back(Entry{plan, observed_max_load});
+}
+
+std::optional<ExecutionPlan> PlanCache::FindFeasible(
+    const Workflow& wf) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Entry* best = nullptr;
+  for (const Entry& entry : entries_) {
+    if (best != nullptr && entry.score >= best->score) continue;
+    if (IsFeasible(wf, entry.plan.key)) best = &entry;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->plan;
+}
+
+int PlanCache::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+}  // namespace casm

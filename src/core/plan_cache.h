@@ -1,0 +1,58 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Reuse of known-good distribution keys (paper §V, last paragraph): "the
+// goodness of the distribution key is not bound with specific composite
+// queries since it only affects how the raw data are distributed. As long
+// as the value distribution of the original data set does not change, a
+// distribution key which was previously identified as a good one will
+// still be a good candidate, as long as it is feasible for the given
+// query."
+//
+// A PlanCache remembers keys together with the workload they achieved
+// (e.g., the max reducer load observed by a sampled dispatch or a real
+// run) and answers "is any remembered key feasible for this query?".
+
+#ifndef CASM_CORE_PLAN_CACHE_H_
+#define CASM_CORE_PLAN_CACHE_H_
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/plan.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// Thread-safe store of previously successful plans for one dataset
+/// (one schema + one value distribution).
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Remembers `plan` with its observed heaviest reducer workload (lower
+  /// is better). Remembering an equivalent plan again keeps the better
+  /// score.
+  void Remember(const ExecutionPlan& plan, double observed_max_load);
+
+  /// Returns the best-scored remembered plan whose key is feasible for
+  /// `wf`, or nullopt.
+  std::optional<ExecutionPlan> FindFeasible(const Workflow& wf) const;
+
+  int size() const;
+
+ private:
+  struct Entry {
+    ExecutionPlan plan;
+    double score;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_CORE_PLAN_CACHE_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Run-time skew detection and handling (paper §V). The mappers sample the
+// records they would fetch, simulate the dispatch for each candidate plan
+// (key generation + block-to-reducer hashing, without moving any data),
+// and the plan with the smallest observed maximum reducer workload wins.
+
+#ifndef CASM_CORE_SKEW_H_
+#define CASM_CORE_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "data/table.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+struct SamplingOptions {
+  /// Fraction of records each mapper samples for the simulated dispatch.
+  double sample_fraction = 0.01;
+  uint64_t seed = 0x5eed;
+};
+
+/// Simulated dispatch: estimated per-reducer workloads (in records, scaled
+/// back up by the sampling fraction) if `plan` ran over `table` with
+/// `num_reducers` reducers. No data is shuffled.
+std::vector<int64_t> SimulateDispatch(const Workflow& wf, const Table& table,
+                                      const ExecutionPlan& plan,
+                                      int num_reducers,
+                                      const SamplingOptions& options);
+
+/// max / mean of the simulated loads; >> 1 indicates skew (paper §V's
+/// detection signal).
+double SkewRatio(const std::vector<int64_t>& loads);
+
+/// Estimated fraction of `plan`'s distribution blocks that receive any
+/// data, from a record sample (mappers can compute this while fetching
+/// their splits, §V). Feed into
+/// OptimizerOptions::estimated_block_occupancy.
+double EstimateBlockOccupancy(const Workflow& wf, const Table& table,
+                              const ExecutionPlan& plan,
+                              const SamplingOptions& options);
+
+/// Picks the candidate whose simulated dispatch has the smallest maximum
+/// reducer workload (the paper's "Sampling" plan of Fig 4(f)).
+Result<ExecutionPlan> ChoosePlanBySampling(
+    const Workflow& wf, const Table& table,
+    const std::vector<ExecutionPlan>& candidates, int num_reducers,
+    const SamplingOptions& options);
+
+}  // namespace casm
+
+#endif  // CASM_CORE_SKEW_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "cube/granularity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace casm {
+
+Granularity Granularity::Finest(const Schema& schema) {
+  Granularity g;
+  g.levels_.assign(static_cast<size_t>(schema.num_attributes()), 0);
+  return g;
+}
+
+Granularity Granularity::Top(const Schema& schema) {
+  Granularity g;
+  g.levels_.resize(static_cast<size_t>(schema.num_attributes()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    g.levels_[static_cast<size_t>(i)] = schema.attribute(i).all_level();
+  }
+  return g;
+}
+
+Result<Granularity> Granularity::Of(
+    const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& parts) {
+  Granularity g = Top(schema);
+  for (const auto& [attr_name, level_name] : parts) {
+    CASM_ASSIGN_OR_RETURN(int attr, schema.AttributeIndex(attr_name));
+    CASM_ASSIGN_OR_RETURN(LevelId level,
+                          schema.attribute(attr).LevelByName(level_name));
+    g.set_level(attr, level);
+  }
+  return g;
+}
+
+bool Granularity::IsMoreGeneralOrEqual(const Granularity& other) const {
+  CASM_CHECK_EQ(levels_.size(), other.levels_.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] < other.levels_[i]) return false;
+  }
+  return true;
+}
+
+Granularity Granularity::Lca(const Granularity& a, const Granularity& b) {
+  CASM_CHECK_EQ(a.levels_.size(), b.levels_.size());
+  Granularity g;
+  g.levels_.resize(a.levels_.size());
+  for (size_t i = 0; i < a.levels_.size(); ++i) {
+    g.levels_[i] = std::max(a.levels_[i], b.levels_[i]);
+  }
+  return g;
+}
+
+int64_t Granularity::NumRegions(const Schema& schema) const {
+  int64_t total = 1;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    int64_t count = schema.attribute(i).LevelValueCount(level(i));
+    if (total > std::numeric_limits<int64_t>::max() / count) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    total *= count;
+  }
+  return total;
+}
+
+std::string Granularity::ToString(const Schema& schema) const {
+  std::string out = "<";
+  bool first = true;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const Hierarchy& h = schema.attribute(i);
+    if (h.is_all(level(i))) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += h.name();
+    out += ":";
+    out += h.level_name(level(i));
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace casm

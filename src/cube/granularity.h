@@ -1,0 +1,67 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Granularities: one domain level per attribute, identifying a region set
+// in cube space (paper §II). Granularities form a lattice under the
+// component-wise generality order; levels within one attribute are totally
+// ordered, so least common ancestors always exist.
+
+#ifndef CASM_CUBE_GRANULARITY_H_
+#define CASM_CUBE_GRANULARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cube/schema.h"
+
+namespace casm {
+
+/// One level index per schema attribute. Value semantics; cheap to copy.
+class Granularity {
+ public:
+  Granularity() = default;
+
+  /// All attributes at their finest level.
+  static Granularity Finest(const Schema& schema);
+  /// All attributes at ALL (the single top region covering everything).
+  static Granularity Top(const Schema& schema);
+
+  /// Named construction: attributes absent from `parts` sit at ALL.
+  /// Example: Granularity::Of(schema, {{"Keyword", "word"}, {"Time", "hour"}}).
+  static Result<Granularity> Of(
+      const Schema& schema,
+      const std::vector<std::pair<std::string, std::string>>& parts);
+
+  int num_attributes() const { return static_cast<int>(levels_.size()); }
+  LevelId level(int attr) const { return levels_[static_cast<size_t>(attr)]; }
+  void set_level(int attr, LevelId level) {
+    levels_[static_cast<size_t>(attr)] = level;
+  }
+
+  /// True if every attribute of *this is at a level at least as general as
+  /// `other`'s (i.e. regions of `other` nest inside regions of *this).
+  bool IsMoreGeneralOrEqual(const Granularity& other) const;
+
+  /// Component-wise least common ancestor: the least granularity that is
+  /// more general than or equal to both inputs (paper Theorem 2 relies on
+  /// this being well defined because per-attribute levels form a chain).
+  static Granularity Lca(const Granularity& a, const Granularity& b);
+
+  /// Number of regions in the region set, saturating at INT64_MAX.
+  int64_t NumRegions(const Schema& schema) const;
+
+  /// Renders as "<Keyword:word, Time:hour>" with ALL attributes omitted.
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const Granularity& a, const Granularity& b) {
+    return a.levels_ == b.levels_;
+  }
+
+ private:
+  std::vector<LevelId> levels_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_CUBE_GRANULARITY_H_

@@ -1,0 +1,267 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "cube/hierarchy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace casm {
+
+Result<Hierarchy> Hierarchy::Numeric(std::string name, int64_t cardinality,
+                                     std::vector<int64_t> units,
+                                     std::vector<std::string> level_names) {
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("hierarchy cardinality must be positive");
+  }
+  if (level_names.size() != units.size() + 1) {
+    return Status::InvalidArgument(
+        "need one level name per level (finest + one per unit)");
+  }
+  int64_t prev = 1;
+  for (int64_t u : units) {
+    if (u <= prev) {
+      return Status::InvalidArgument("unit sizes must be strictly increasing");
+    }
+    if (u % prev != 0) {
+      return Status::InvalidArgument(
+          "each unit size must be a multiple of the previous one "
+          "(regions must nest)");
+    }
+    prev = u;
+  }
+  Hierarchy h;
+  h.name_ = std::move(name);
+  h.kind_ = AttributeKind::kNumeric;
+  h.cardinality_ = cardinality;
+  h.units_.push_back(1);
+  for (int64_t u : units) h.units_.push_back(u);
+  h.units_.push_back(cardinality);  // ALL
+  h.level_names_ = std::move(level_names);
+  h.level_names_.push_back("ALL");
+  return h;
+}
+
+Result<Hierarchy> Hierarchy::NumericIrregular(
+    std::string name, int64_t cardinality,
+    std::vector<std::vector<int64_t>> level_starts,
+    std::vector<std::string> level_names) {
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("hierarchy cardinality must be positive");
+  }
+  if (level_names.size() != level_starts.size() + 1) {
+    return Status::InvalidArgument(
+        "need one level name per level (finest + one per starts list)");
+  }
+  for (size_t li = 0; li < level_starts.size(); ++li) {
+    const std::vector<int64_t>& starts = level_starts[li];
+    if (starts.empty() || starts.front() != 0) {
+      return Status::InvalidArgument(
+          "irregular level starts must begin with 0");
+    }
+    for (size_t j = 1; j < starts.size(); ++j) {
+      if (starts[j] <= starts[j - 1]) {
+        return Status::InvalidArgument(
+            "irregular level starts must be strictly increasing");
+      }
+    }
+    if (starts.back() >= cardinality) {
+      return Status::InvalidArgument(
+          "irregular level starts must lie inside the domain");
+    }
+    // Nesting: every start of this level must be a start of the previous
+    // (finer) level.
+    if (li > 0) {
+      const std::vector<int64_t>& finer = level_starts[li - 1];
+      for (int64_t start : starts) {
+        if (!std::binary_search(finer.begin(), finer.end(), start)) {
+          return Status::InvalidArgument(
+              "irregular level " + std::to_string(li + 1) +
+              " does not nest inside level " + std::to_string(li));
+        }
+      }
+    }
+  }
+  Hierarchy h;
+  h.name_ = std::move(name);
+  h.kind_ = AttributeKind::kNumeric;
+  h.cardinality_ = cardinality;
+  h.level_names_ = std::move(level_names);
+  h.level_names_.push_back("ALL");
+  h.starts_ = std::move(level_starts);
+  // Cache min/max region sizes per level.
+  h.min_units_.push_back(1);
+  h.max_units_.push_back(1);
+  for (const std::vector<int64_t>& starts : h.starts_) {
+    int64_t min_size = cardinality, max_size = 0;
+    for (size_t j = 0; j < starts.size(); ++j) {
+      int64_t end = j + 1 < starts.size() ? starts[j + 1] : cardinality;
+      min_size = std::min(min_size, end - starts[j]);
+      max_size = std::max(max_size, end - starts[j]);
+    }
+    h.min_units_.push_back(min_size);
+    h.max_units_.push_back(max_size);
+  }
+  h.min_units_.push_back(cardinality);  // ALL
+  h.max_units_.push_back(cardinality);
+  return h;
+}
+
+Result<Hierarchy> Hierarchy::Nominal(
+    std::string name, int64_t cardinality,
+    std::vector<std::vector<int64_t>> parent_maps,
+    std::vector<std::string> level_names) {
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("hierarchy cardinality must be positive");
+  }
+  if (level_names.size() != parent_maps.size() + 1) {
+    return Status::InvalidArgument(
+        "need one level name per level (finest + one per parent map)");
+  }
+  Hierarchy h;
+  h.name_ = std::move(name);
+  h.kind_ = AttributeKind::kNominal;
+  h.cardinality_ = cardinality;
+  h.level_names_ = std::move(level_names);
+  h.level_names_.push_back("ALL");
+  h.nominal_counts_.push_back(cardinality);
+  for (size_t li = 0; li < parent_maps.size(); ++li) {
+    const std::vector<int64_t>& map = parent_maps[li];
+    if (map.size() != static_cast<size_t>(cardinality)) {
+      return Status::InvalidArgument(
+          "nominal parent map must cover every finest value");
+    }
+    int64_t max_value = -1;
+    for (int64_t v : map) {
+      if (v < 0) {
+        return Status::InvalidArgument("nominal level values must be >= 0");
+      }
+      if (v > max_value) max_value = v;
+    }
+    // Nesting: equal value at the previous level implies equal value here.
+    if (li > 0) {
+      const std::vector<int64_t>& prev = parent_maps[li - 1];
+      std::vector<int64_t> seen(static_cast<size_t>(h.nominal_counts_.back()),
+                                -1);
+      for (int64_t v = 0; v < cardinality; ++v) {
+        int64_t p = prev[static_cast<size_t>(v)];
+        int64_t& s = seen[static_cast<size_t>(p)];
+        if (s == -1) {
+          s = map[static_cast<size_t>(v)];
+        } else if (s != map[static_cast<size_t>(v)]) {
+          return Status::InvalidArgument(
+              "nominal level " + std::to_string(li + 1) +
+              " does not coarsen level " + std::to_string(li));
+        }
+      }
+    }
+    h.nominal_counts_.push_back(max_value + 1);
+    h.from_finest_.push_back(map);
+  }
+  h.nominal_counts_.push_back(1);  // ALL
+  // Precompute value -> next-level-value maps for MapUp.
+  for (size_t li = 0; li + 1 < h.nominal_counts_.size() - 1; ++li) {
+    std::vector<int64_t> up(
+        static_cast<size_t>(h.nominal_counts_[li]), 0);
+    for (int64_t v = 0; v < cardinality; ++v) {
+      up[static_cast<size_t>(h.MapFromFinest(v, static_cast<LevelId>(li)))] =
+          h.MapFromFinest(v, static_cast<LevelId>(li + 1));
+    }
+    h.to_next_.push_back(std::move(up));
+  }
+  return h;
+}
+
+int64_t Hierarchy::unit(LevelId level) const {
+  CASM_CHECK(uniform()) << "unit() requires a uniform numeric hierarchy; "
+                           "use min_unit()/max_unit() for '" << name_ << "'";
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  return units_[static_cast<size_t>(level)];
+}
+
+int64_t Hierarchy::min_unit(LevelId level) const {
+  CASM_CHECK(kind_ == AttributeKind::kNumeric);
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  if (uniform()) return units_[static_cast<size_t>(level)];
+  return min_units_[static_cast<size_t>(level)];
+}
+
+int64_t Hierarchy::max_unit(LevelId level) const {
+  CASM_CHECK(kind_ == AttributeKind::kNumeric);
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  if (uniform()) return units_[static_cast<size_t>(level)];
+  return max_units_[static_cast<size_t>(level)];
+}
+
+int64_t Hierarchy::LevelValueCount(LevelId level) const {
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  if (is_all(level)) return 1;
+  if (kind_ == AttributeKind::kNumeric) {
+    if (uniform()) {
+      return CeilDiv(cardinality_, units_[static_cast<size_t>(level)]);
+    }
+    if (level == 0) return cardinality_;
+    return static_cast<int64_t>(starts_[static_cast<size_t>(level - 1)].size());
+  }
+  return nominal_counts_[static_cast<size_t>(level)];
+}
+
+int64_t Hierarchy::MapFromFinest(int64_t value, LevelId level) const {
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  if (is_all(level)) return 0;
+  if (kind_ == AttributeKind::kNumeric) {
+    if (uniform()) {
+      return FloorDiv(value, units_[static_cast<size_t>(level)]);
+    }
+    if (level == 0) return value;
+    const std::vector<int64_t>& starts = starts_[static_cast<size_t>(level - 1)];
+    // The region whose start is the greatest one <= value.
+    auto it = std::upper_bound(starts.begin(), starts.end(), value);
+    return static_cast<int64_t>(it - starts.begin()) - 1;
+  }
+  CASM_CHECK_GE(value, 0);
+  CASM_CHECK_LT(value, cardinality_);
+  if (level == 0) return value;
+  return from_finest_[static_cast<size_t>(level - 1)][static_cast<size_t>(value)];
+}
+
+int64_t Hierarchy::MapUp(int64_t value, LevelId from, LevelId to) const {
+  CASM_CHECK_LE(from, to);
+  if (from == to) return value;
+  if (is_all(to)) return 0;
+  if (kind_ == AttributeKind::kNumeric) {
+    if (uniform()) {
+      // A level-`from` value spans finest values
+      // [value * unit(from), ...); its container at `to` is the floor.
+      return FloorDiv(value * units_[static_cast<size_t>(from)],
+                      units_[static_cast<size_t>(to)]);
+    }
+    const int64_t start =
+        from == 0 ? value
+                  : starts_[static_cast<size_t>(from - 1)][static_cast<size_t>(value)];
+    return MapFromFinest(start, to);
+  }
+  // Nominal levels nest; chain the precomputed per-level up maps.
+  int64_t v = value;
+  for (LevelId level = from; level < to; ++level) {
+    v = to_next_[static_cast<size_t>(level)][static_cast<size_t>(v)];
+  }
+  return v;
+}
+
+Result<LevelId> Hierarchy::LevelByName(const std::string& level_name) const {
+  for (int i = 0; i < num_levels(); ++i) {
+    if (level_names_[static_cast<size_t>(i)] == level_name) return i;
+  }
+  return Status::NotFound("no level named '" + level_name + "' in hierarchy '" +
+                          name_ + "'");
+}
+
+}  // namespace casm

@@ -1,0 +1,145 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Hierarchical value domains (paper §II). Every attribute of a cube-space
+// schema carries a Hierarchy: a totally ordered chain of domains from the
+// finest level (raw values) up to the special ALL domain holding the single
+// value 0. Example (paper Table I): Time has levels
+// second < minute < hour < day < ALL.
+
+#ifndef CASM_CUBE_HIERARCHY_H_
+#define CASM_CUBE_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace casm {
+
+/// Whether range ("closeness") annotations make sense for an attribute.
+/// Only numeric attributes admit sibling ranges and key annotations
+/// (paper §II: closeness is undefined for nominal domains).
+enum class AttributeKind {
+  kNumeric,
+  kNominal,
+};
+
+/// Index of a level within a hierarchy; 0 is the finest level and
+/// `num_levels() - 1` is always ALL.
+using LevelId = int;
+
+/// A chain of progressively more general domains for one attribute.
+///
+/// Finest-level values are dense integers in [0, cardinality). Numeric
+/// hierarchies define each level by a *unit size* (how many finest values
+/// one level value spans); unit sizes must divide each other up the chain
+/// so that regions nest. Nominal hierarchies define each level by an
+/// explicit parent map and must also nest.
+///
+/// Use the factory functions; a default-constructed Hierarchy is invalid.
+class Hierarchy {
+ public:
+  /// Builds a numeric hierarchy. `units` are the unit sizes of the levels
+  /// above the finest one, strictly increasing, each dividing the next,
+  /// all dividing none of `cardinality` necessarily (the last level value
+  /// may be a partial region). ALL is appended automatically.
+  ///
+  /// Example: Numeric("Time", 20 * 86400, {60, 3600, 86400},
+  ///                  {"second", "minute", "hour", "day"}).
+  static Result<Hierarchy> Numeric(std::string name, int64_t cardinality,
+                                   std::vector<int64_t> units,
+                                   std::vector<std::string> level_names);
+
+  /// Builds a numeric hierarchy with *irregular* level boundaries, e.g.
+  /// calendar months of varying length. `level_starts[i]` lists, for level
+  /// i+1, the finest-unit start of each of its regions (sorted, first
+  /// element 0); region j spans [starts[j], starts[j+1]) and the last one
+  /// extends to the cardinality. Levels must nest: every coarser level's
+  /// starts must be a subset of the next finer level's. ALL is appended
+  /// automatically.
+  ///
+  /// Example (two 30/31-day months over daily data):
+  ///   NumericIrregular("Time", 61, {{0, 31}}, {"day", "month"}).
+  static Result<Hierarchy> NumericIrregular(
+      std::string name, int64_t cardinality,
+      std::vector<std::vector<int64_t>> level_starts,
+      std::vector<std::string> level_names);
+
+  /// Builds a nominal hierarchy. `parent_maps[i]` maps every finest value
+  /// to its value in level i+1 (level 0 is the identity over
+  /// [0, cardinality)). Each map must coarsen the previous level's
+  /// partition. ALL is appended automatically.
+  static Result<Hierarchy> Nominal(
+      std::string name, int64_t cardinality,
+      std::vector<std::vector<int64_t>> parent_maps,
+      std::vector<std::string> level_names);
+
+  const std::string& name() const { return name_; }
+  AttributeKind kind() const { return kind_; }
+  /// Number of distinct finest-level values.
+  int64_t cardinality() const { return cardinality_; }
+  /// Number of levels including the finest level and ALL.
+  int num_levels() const { return static_cast<int>(level_names_.size()); }
+  LevelId all_level() const { return num_levels() - 1; }
+  bool is_all(LevelId level) const { return level == all_level(); }
+  const std::string& level_name(LevelId level) const {
+    return level_names_[static_cast<size_t>(level)];
+  }
+
+  /// Unit size of `level` in finest values. ALL reports the full
+  /// cardinality. Only meaningful for *uniform* numeric hierarchies.
+  int64_t unit(LevelId level) const;
+
+  /// True for divisor-built numeric hierarchies (every region of a level
+  /// has the same size).
+  bool uniform() const { return kind_ == AttributeKind::kNumeric && starts_.empty(); }
+
+  /// Smallest / largest region size of `level` in finest values (equal to
+  /// unit() for uniform hierarchies). Numeric only.
+  int64_t min_unit(LevelId level) const;
+  int64_t max_unit(LevelId level) const;
+
+  /// Number of distinct values at `level` (ALL -> 1).
+  int64_t LevelValueCount(LevelId level) const;
+
+  /// Maps a finest-level value to its value at `level`.
+  int64_t MapFromFinest(int64_t value, LevelId level) const;
+
+  /// Maps a value at level `from` to the containing value at level `to`.
+  /// Requires to >= from (mapping towards more general domains only).
+  int64_t MapUp(int64_t value, LevelId from, LevelId to) const;
+
+  /// Finds a level by name; returns an error Status if absent.
+  Result<LevelId> LevelByName(const std::string& level_name) const;
+
+ private:
+  Hierarchy() = default;
+
+  std::string name_;
+  AttributeKind kind_ = AttributeKind::kNumeric;
+  int64_t cardinality_ = 0;
+  std::vector<std::string> level_names_;
+  // Numeric uniform: unit size per level (finest = 1; ALL = cardinality).
+  std::vector<int64_t> units_;
+  // Numeric irregular: per level 1..k-1, sorted region starts in finest
+  // units (finest level and ALL omitted). Indexed by level - 1.
+  std::vector<std::vector<int64_t>> starts_;
+  // Numeric irregular: cached min/max region size per level (indexed like
+  // level_names_, finest = 1, ALL = cardinality).
+  std::vector<int64_t> min_units_;
+  std::vector<int64_t> max_units_;
+  // Nominal: per level, map from finest value to that level's value
+  // (identity omitted for level 0; ALL omitted). Indexed by level - 1.
+  std::vector<std::vector<int64_t>> from_finest_;
+  // Nominal: per level, map from that level's value to the next level's
+  // (last non-ALL level omitted). Indexed by level.
+  std::vector<std::vector<int64_t>> to_next_;
+  // Nominal: distinct value count per level.
+  std::vector<int64_t> nominal_counts_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_CUBE_HIERARCHY_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "cube/region.h"
+
+#include "common/logging.h"
+
+namespace casm {
+
+Coords RegionOfRecord(const Schema& schema, const Granularity& gran,
+                      const int64_t* values) {
+  Coords coords(static_cast<size_t>(schema.num_attributes()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    coords[static_cast<size_t>(i)] =
+        schema.attribute(i).MapFromFinest(values[i], gran.level(i));
+  }
+  return coords;
+}
+
+Coords MapRegionUp(const Schema& schema, const Granularity& from,
+                   const Coords& coords, const Granularity& to) {
+  CASM_CHECK(to.IsMoreGeneralOrEqual(from));
+  Coords out(static_cast<size_t>(schema.num_attributes()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    out[static_cast<size_t>(i)] = schema.attribute(i).MapUp(
+        coords[static_cast<size_t>(i)], from.level(i), to.level(i));
+  }
+  return out;
+}
+
+std::string CoordsToString(const Schema& schema, const Granularity& gran,
+                           const Coords& coords) {
+  std::string out = "[";
+  bool first = true;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const Hierarchy& h = schema.attribute(i);
+    if (h.is_all(gran.level(i))) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += h.name();
+    out += "=";
+    out += std::to_string(coords[static_cast<size_t>(i)]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace casm

@@ -1,0 +1,55 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Regions: hyper-rectangles in cube space identified by a granularity plus
+// one coordinate per attribute (paper §II). Measure results, grouping and
+// the distribution scheme all operate on region coordinates, so this header
+// supplies the coordinate arithmetic, hashing and pretty-printing.
+
+#ifndef CASM_CUBE_REGION_H_
+#define CASM_CUBE_REGION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/granularity.h"
+#include "cube/schema.h"
+
+namespace casm {
+
+/// Coordinates of a region at some (externally known) granularity:
+/// one level value per attribute, in schema order. ALL attributes hold 0.
+using Coords = std::vector<int64_t>;
+
+/// Maps a record (finest-level point, `values[i]` for attribute i) to the
+/// coordinates of the region containing it at `gran`.
+Coords RegionOfRecord(const Schema& schema, const Granularity& gran,
+                      const int64_t* values);
+
+/// Maps region coordinates from granularity `from` to the containing
+/// region at `to`. Requires `to.IsMoreGeneralOrEqual(from)`.
+Coords MapRegionUp(const Schema& schema, const Granularity& from,
+                   const Coords& coords, const Granularity& to);
+
+/// Renders as "[kw=3, T=17]" using attribute names, omitting ALL attributes.
+std::string CoordsToString(const Schema& schema, const Granularity& gran,
+                           const Coords& coords);
+
+/// 64-bit FNV-1a over coordinates; usable with unordered containers.
+struct CoordsHash {
+  size_t operator()(const Coords& coords) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t c : coords) {
+      uint64_t x = static_cast<uint64_t>(c);
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (x >> shift) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace casm
+
+#endif  // CASM_CUBE_REGION_H_

@@ -1,0 +1,131 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace casm {
+namespace {
+
+/// Precomputed inverse-CDF sampler for Zipf(s) over [0, n). Memory is one
+/// double per distinct value, which is fine for the dimension
+/// cardinalities used in the experiments.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int64_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Result<Table> GenerateTable(SchemaPtr schema, int64_t num_rows,
+                            std::vector<AttributeDistribution> distributions,
+                            uint64_t seed) {
+  const int width = schema->num_attributes();
+  if (distributions.empty()) {
+    distributions.assign(static_cast<size_t>(width),
+                         AttributeDistribution::Uniform());
+  }
+  if (static_cast<int>(distributions.size()) != width) {
+    return Status::InvalidArgument(
+        "need one distribution per attribute (or none)");
+  }
+  std::vector<std::unique_ptr<ZipfSampler>> zipf(static_cast<size_t>(width));
+  for (int a = 0; a < width; ++a) {
+    const AttributeDistribution& d = distributions[static_cast<size_t>(a)];
+    const int64_t card = schema->attribute(a).cardinality();
+    switch (d.kind) {
+      case AttributeDistribution::Kind::kUniform:
+        break;
+      case AttributeDistribution::Kind::kUniformRange:
+        if (d.lo < 0 || d.hi >= card || d.lo > d.hi) {
+          return Status::InvalidArgument(
+              "uniform-range bounds out of domain for attribute '" +
+              schema->attribute(a).name() + "'");
+        }
+        break;
+      case AttributeDistribution::Kind::kZipf:
+        if (d.zipf_s <= 0) {
+          return Status::InvalidArgument("zipf exponent must be positive");
+        }
+        zipf[static_cast<size_t>(a)] =
+            std::make_unique<ZipfSampler>(card, d.zipf_s);
+        break;
+    }
+  }
+
+  Table table(schema);
+  int64_t* out = table.AppendUninitialized(num_rows);
+
+  // Deterministic parallel fill: fixed-size chunks, each chunk seeded
+  // independently of the executing thread.
+  constexpr int64_t kChunk = 1 << 16;
+  const int64_t num_chunks = (num_rows + kChunk - 1) / kChunk;
+  auto fill_chunk = [&](int64_t chunk) {
+    Rng rng(seed ^ (0x1234abcd5678ef01ULL + static_cast<uint64_t>(chunk) *
+                                                0x9e3779b97f4a7c15ULL));
+    const int64_t begin = chunk * kChunk;
+    const int64_t end = std::min(num_rows, begin + kChunk);
+    for (int64_t r = begin; r < end; ++r) {
+      int64_t* row = out + r * width;
+      for (int a = 0; a < width; ++a) {
+        const AttributeDistribution& d = distributions[static_cast<size_t>(a)];
+        const int64_t card = schema->attribute(a).cardinality();
+        switch (d.kind) {
+          case AttributeDistribution::Kind::kUniform:
+            row[a] = static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(card)));
+            break;
+          case AttributeDistribution::Kind::kUniformRange:
+            row[a] = rng.UniformRange(d.lo, d.hi);
+            break;
+          case AttributeDistribution::Kind::kZipf:
+            row[a] = zipf[static_cast<size_t>(a)]->Sample(rng);
+            break;
+        }
+      }
+    }
+  };
+  if (num_chunks > 1) {
+    ThreadPool pool(
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+    pool.ParallelFor(static_cast<size_t>(num_chunks), [&](size_t chunk) {
+      fill_chunk(static_cast<int64_t>(chunk));
+    });
+  } else if (num_chunks == 1) {
+    fill_chunk(0);
+  }
+  return table;
+}
+
+Table GenerateUniformTable(SchemaPtr schema, int64_t num_rows, uint64_t seed) {
+  Result<Table> table = GenerateTable(std::move(schema), num_rows, {}, seed);
+  CASM_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+}  // namespace casm

@@ -1,0 +1,32 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "data/table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace casm {
+
+Table::Table(SchemaPtr schema)
+    : schema_(std::move(schema)), row_width_(schema_->num_attributes()) {
+  CASM_CHECK_GE(row_width_, 1);
+}
+
+void Table::AppendRow(const int64_t* values) {
+  data_.insert(data_.end(), values, values + row_width_);
+}
+
+void Table::AppendRow(std::initializer_list<int64_t> values) {
+  CASM_CHECK_EQ(static_cast<int>(values.size()), row_width_);
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+int64_t* Table::AppendUninitialized(int64_t count) {
+  size_t old_size = data_.size();
+  data_.resize(old_size +
+               static_cast<size_t>(count) * static_cast<size_t>(row_width_));
+  return data_.data() + old_size;
+}
+
+}  // namespace casm

@@ -1,0 +1,116 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace casm {
+
+Result<DistributedFile> DistributedFile::Store(int64_t num_rows,
+                                               const DfsOptions& options) {
+  if (options.num_nodes < 1) {
+    return Status::InvalidArgument("need at least one node");
+  }
+  if (options.replication < 1) {
+    return Status::InvalidArgument("need at least one replica");
+  }
+  if (options.block_size_rows < 1) {
+    return Status::InvalidArgument("block size must be positive");
+  }
+  DistributedFile file;
+  file.options_ = options;
+  const int replicas = std::min(options.replication, options.num_nodes);
+  Rng rng(options.seed);
+  for (int64_t begin = 0; begin < num_rows;
+       begin += options.block_size_rows) {
+    Block block;
+    block.begin_row = begin;
+    block.end_row = std::min(num_rows, begin + options.block_size_rows);
+    // Sample `replicas` distinct nodes.
+    while (static_cast<int>(block.replicas.size()) < replicas) {
+      int node = static_cast<int>(
+          rng.Uniform(static_cast<uint64_t>(options.num_nodes)));
+      if (std::find(block.replicas.begin(), block.replicas.end(), node) ==
+          block.replicas.end()) {
+        block.replicas.push_back(node);
+      }
+    }
+    file.blocks_.push_back(std::move(block));
+  }
+  return file;
+}
+
+DistributedFile::Assignment DistributedFile::AssignSplits(
+    int num_mappers) const {
+  CASM_CHECK_GE(num_mappers, 1);
+  Assignment assignment;
+  assignment.mapper_blocks.resize(static_cast<size_t>(num_mappers));
+  assignment.mapper_node.resize(static_cast<size_t>(num_mappers));
+  for (int m = 0; m < num_mappers; ++m) {
+    assignment.mapper_node[static_cast<size_t>(m)] = m % options_.num_nodes;
+  }
+
+  // Mappers per node (a node may host several map slots).
+  std::vector<std::vector<int>> node_mappers(
+      static_cast<size_t>(options_.num_nodes));
+  for (int m = 0; m < num_mappers; ++m) {
+    node_mappers[static_cast<size_t>(m % options_.num_nodes)].push_back(m);
+  }
+
+  const int64_t target_per_mapper =
+      (num_blocks() + num_mappers - 1) / num_mappers;
+  std::vector<int64_t> load(static_cast<size_t>(num_mappers), 0);
+
+  auto least_loaded_of = [&](const std::vector<int>& mappers) {
+    int best = -1;
+    for (int m : mappers) {
+      if (best < 0 ||
+          load[static_cast<size_t>(m)] < load[static_cast<size_t>(best)]) {
+        best = m;
+      }
+    }
+    return best;
+  };
+
+  std::vector<int> leftovers;
+  for (int b = 0; b < num_blocks(); ++b) {
+    // Prefer a replica-local mapper with spare capacity.
+    int chosen = -1;
+    for (int node : block(b).replicas) {
+      const std::vector<int>& mappers = node_mappers[static_cast<size_t>(node)];
+      if (mappers.empty()) continue;
+      int candidate = least_loaded_of(mappers);
+      if (candidate >= 0 &&
+          load[static_cast<size_t>(candidate)] < target_per_mapper &&
+          (chosen < 0 || load[static_cast<size_t>(candidate)] <
+                             load[static_cast<size_t>(chosen)])) {
+        chosen = candidate;
+      }
+    }
+    if (chosen >= 0) {
+      assignment.mapper_blocks[static_cast<size_t>(chosen)].push_back(b);
+      ++load[static_cast<size_t>(chosen)];
+      ++assignment.local_block_reads;
+    } else {
+      leftovers.push_back(b);
+    }
+  }
+  // Remote reads: balance leftovers over all mappers.
+  for (int b : leftovers) {
+    int chosen = 0;
+    for (int m = 1; m < num_mappers; ++m) {
+      if (load[static_cast<size_t>(m)] < load[static_cast<size_t>(chosen)]) {
+        chosen = m;
+      }
+    }
+    assignment.mapper_blocks[static_cast<size_t>(chosen)].push_back(b);
+    ++load[static_cast<size_t>(chosen)];
+    ++assignment.remote_block_reads;
+  }
+  return assignment;
+}
+
+}  // namespace casm

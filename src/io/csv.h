@@ -1,0 +1,36 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// CSV ingest and export. Input records arrive as CSV with a header row
+// naming schema attributes (order-free; extra columns are ignored); values
+// are integers in each attribute's finest domain. Measure results export
+// as CSV with one column per non-ALL attribute plus the value.
+
+#ifndef CASM_IO_CSV_H_
+#define CASM_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "local/measure_table.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// Parses CSV text into a Table over `schema`. The first row must name
+/// every schema attribute (extras ignored). Errors carry 1-based line
+/// numbers.
+Result<Table> ReadTableCsv(SchemaPtr schema, std::string_view csv);
+
+/// Reads `path` and parses it with ReadTableCsv.
+Result<Table> ReadTableCsvFile(SchemaPtr schema, const std::string& path);
+
+/// Renders the results of `measure` as CSV, sorted by region coordinates:
+/// one column per attribute the measure groups by, then "value".
+std::string WriteMeasureCsv(const Workflow& wf,
+                            const MeasureResultSet& results, int measure);
+
+}  // namespace casm
+
+#endif  // CASM_IO_CSV_H_

@@ -1,0 +1,141 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "local/reference_evaluator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "local/derivation.h"
+
+namespace casm {
+namespace {
+
+using CoverageMap =
+    std::unordered_map<Coords, std::vector<int64_t>, CoordsHash>;
+
+void SortUnique(std::vector<int64_t>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+void MergeInto(const std::vector<int64_t>& src, std::vector<int64_t>* dst) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+/// Rebuilds coverage for composite measure `index` by replaying the
+/// derivation semantics of local/derivation.h over the sources' coverage.
+void DeriveCompositeCoverage(const Workflow& wf, int index,
+                             const MeasureResultSet& results,
+                             CoverageInfo* coverage) {
+  const Schema& schema = *wf.schema();
+  const Measure& m = wf.measure(index);
+  CoverageMap& out = coverage->per_measure[static_cast<size_t>(index)];
+
+  // Coverage attaches to exactly the regions the measure produced.
+  const MeasureValueMap& produced = results.values(index);
+  for (const auto& [coords, value] : produced) out[coords];  // create empty
+
+  for (const MeasureEdge& edge : m.edges) {
+    const Measure& src = wf.measure(edge.source);
+    const CoverageMap& src_cov =
+        coverage->per_measure[static_cast<size_t>(edge.source)];
+    switch (edge.rel) {
+      case Relationship::kSelf:
+        for (auto& [coords, ids] : out) {
+          auto it = src_cov.find(coords);
+          if (it != src_cov.end()) MergeInto(it->second, &ids);
+        }
+        break;
+      case Relationship::kParentChild:
+        for (auto& [coords, ids] : out) {
+          Coords parent =
+              MapRegionUp(schema, m.granularity, coords, src.granularity);
+          auto it = src_cov.find(parent);
+          if (it != src_cov.end()) MergeInto(it->second, &ids);
+        }
+        break;
+      case Relationship::kChildParent:
+        for (const auto& [src_coords, src_ids] : src_cov) {
+          Coords up =
+              MapRegionUp(schema, src.granularity, src_coords, m.granularity);
+          auto it = out.find(up);
+          if (it != out.end()) MergeInto(src_ids, &it->second);
+        }
+        break;
+      case Relationship::kSibling: {
+        const SiblingRange& r = edge.sibling;
+        const size_t attr = static_cast<size_t>(r.attr);
+        const int64_t domain_max =
+            schema.attribute(r.attr).LevelValueCount(
+                m.granularity.level(r.attr)) -
+            1;
+        for (const auto& [src_coords, src_ids] : src_cov) {
+          int64_t first = std::max<int64_t>(0, src_coords[attr] - r.hi);
+          int64_t last = std::min(domain_max, src_coords[attr] - r.lo);
+          Coords target = src_coords;
+          for (int64_t t = first; t <= last; ++t) {
+            target[attr] = t;
+            auto it = out.find(target);
+            if (it != out.end()) MergeInto(src_ids, &it->second);
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (auto& [coords, ids] : out) SortUnique(&ids);
+}
+
+MeasureResultSet EvaluateImpl(const Workflow& wf, const Table& table,
+                              CoverageInfo* coverage) {
+  const Schema& schema = *wf.schema();
+  MeasureResultSet results(wf.num_measures());
+  if (coverage != nullptr) {
+    coverage->per_measure.assign(static_cast<size_t>(wf.num_measures()), {});
+  }
+
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    if (m.op == MeasureOp::kAggregateRecords) {
+      std::unordered_map<Coords, Accumulator, CoordsHash> acc;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        const int64_t* row = table.row(r);
+        Coords coords = RegionOfRecord(schema, m.granularity, row);
+        auto it = acc.find(coords);
+        if (it == acc.end()) it = acc.emplace(coords, Accumulator(m.fn)).first;
+        it->second.Add(static_cast<double>(row[m.field]));
+        if (coverage != nullptr) {
+          coverage->per_measure[static_cast<size_t>(i)][std::move(coords)]
+              .push_back(r);
+        }
+      }
+      MeasureValueMap& out = results.mutable_values(i);
+      out.reserve(acc.size());
+      for (auto& [coords, accumulator] : acc) {
+        out.emplace(coords, accumulator.Result());
+      }
+    } else {
+      DeriveCompositeMeasure(wf, i, &results);
+      if (coverage != nullptr) {
+        DeriveCompositeCoverage(wf, i, results, coverage);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+MeasureResultSet EvaluateReference(const Workflow& wf, const Table& table) {
+  return EvaluateImpl(wf, table, nullptr);
+}
+
+MeasureResultSet EvaluateReferenceWithCoverage(const Workflow& wf,
+                                               const Table& table,
+                                               CoverageInfo* coverage) {
+  CASM_CHECK(coverage != nullptr);
+  return EvaluateImpl(wf, table, coverage);
+}
+
+}  // namespace casm

@@ -1,0 +1,42 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// The reference evaluator: computes every measure of a workflow over a
+// table by direct global grouping, one measure at a time in dependency
+// order. It is deliberately simple — it is the ground truth against which
+// the parallel evaluator and the sort/scan evaluator are validated — and it
+// can optionally report *coverage sets* (paper §III-B: the records that
+// affect each measure result), which the tests use to verify distribution
+// key feasibility independently of the key-derivation algebra.
+
+#ifndef CASM_LOCAL_REFERENCE_EVALUATOR_H_
+#define CASM_LOCAL_REFERENCE_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "local/measure_table.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// Coverage sets: for each measure, region -> sorted unique ids of the
+/// records whose values affect that measure result. Only intended for
+/// test-sized tables (memory is O(results * coverage)).
+struct CoverageInfo {
+  std::vector<std::unordered_map<Coords, std::vector<int64_t>, CoordsHash>>
+      per_measure;
+};
+
+/// Evaluates `wf` over `table` by global grouping.
+MeasureResultSet EvaluateReference(const Workflow& wf, const Table& table);
+
+/// As above, additionally filling `coverage`.
+MeasureResultSet EvaluateReferenceWithCoverage(const Workflow& wf,
+                                               const Table& table,
+                                               CoverageInfo* coverage);
+
+}  // namespace casm
+
+#endif  // CASM_LOCAL_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,136 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "measure/aggregate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace casm {
+
+AggregateClass ClassOf(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+    case AggregateFn::kSum:
+    case AggregateFn::kMin:
+    case AggregateFn::kMax:
+      return AggregateClass::kDistributive;
+    case AggregateFn::kAvg:
+    case AggregateFn::kVariance:
+      return AggregateClass::kAlgebraic;
+    case AggregateFn::kMedian:
+    case AggregateFn::kDistinctCount:
+      return AggregateClass::kHolistic;
+  }
+  CASM_CHECK(false);
+  return AggregateClass::kHolistic;
+}
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kAvg:
+      return "AVG";
+    case AggregateFn::kVariance:
+      return "VARIANCE";
+    case AggregateFn::kMedian:
+      return "MEDIAN";
+    case AggregateFn::kDistinctCount:
+      return "DISTINCT_COUNT";
+  }
+  return "UNKNOWN";
+}
+
+void Accumulator::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sumsq_ += value * value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (ClassOf(fn_) == AggregateClass::kHolistic) values_.push_back(value);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  CASM_CHECK(fn_ == other.fn_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+double Accumulator::Result() const {
+  switch (fn_) {
+    case AggregateFn::kCount:
+      return static_cast<double>(count_);
+    case AggregateFn::kSum:
+      return sum_;
+    case AggregateFn::kMin:
+      CASM_CHECK_GT(count_, 0);
+      return min_;
+    case AggregateFn::kMax:
+      CASM_CHECK_GT(count_, 0);
+      return max_;
+    case AggregateFn::kAvg:
+      CASM_CHECK_GT(count_, 0);
+      return sum_ / static_cast<double>(count_);
+    case AggregateFn::kVariance: {
+      CASM_CHECK_GT(count_, 0);
+      double mean = sum_ / static_cast<double>(count_);
+      double var = sumsq_ / static_cast<double>(count_) - mean * mean;
+      return var < 0 ? 0 : var;  // clamp numerical noise
+    }
+    case AggregateFn::kMedian: {
+      CASM_CHECK_GT(count_, 0);
+      // Lower median keeps integer inputs exact and is cheap via
+      // nth_element on a scratch copy.
+      std::vector<double> scratch = values_;
+      size_t mid = (scratch.size() - 1) / 2;
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<ptrdiff_t>(mid),
+                       scratch.end());
+      return scratch[mid];
+    }
+    case AggregateFn::kDistinctCount: {
+      std::vector<double> scratch = values_;
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      return static_cast<double>(scratch.size());
+    }
+  }
+  CASM_CHECK(false);
+  return 0;
+}
+
+void Accumulator::ToPartial(double out[kPartialSize]) const {
+  CASM_CHECK(ClassOf(fn_) != AggregateClass::kHolistic)
+      << "holistic aggregates have no mergeable partial state";
+  out[0] = static_cast<double>(count_);
+  out[1] = sum_;
+  out[2] = sumsq_;
+  out[3] = min_;
+  out[4] = max_;
+}
+
+Accumulator Accumulator::FromPartial(AggregateFn fn,
+                                     const double in[kPartialSize]) {
+  CASM_CHECK(ClassOf(fn) != AggregateClass::kHolistic);
+  Accumulator acc(fn);
+  acc.count_ = static_cast<int64_t>(in[0]);
+  acc.sum_ = in[1];
+  acc.sumsq_ = in[2];
+  acc.min_ = in[3];
+  acc.max_ = in[4];
+  return acc;
+}
+
+}  // namespace casm

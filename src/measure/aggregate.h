@@ -1,0 +1,77 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Aggregate functions and their streaming accumulators. Functions are
+// classified distributive / algebraic / holistic; only the first two admit
+// mergeable partial states and are therefore eligible for early (map-side)
+// aggregation (paper §III-D).
+
+#ifndef CASM_MEASURE_AGGREGATE_H_
+#define CASM_MEASURE_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+
+namespace casm {
+
+enum class AggregateFn {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kVariance,       // population variance
+  kMedian,         // lower median (exact for integer inputs)
+  kDistinctCount,
+};
+
+enum class AggregateClass {
+  kDistributive,  // partials merge by the function itself (SUM, MIN, ...)
+  kAlgebraic,     // fixed-size partial state (AVG, VARIANCE)
+  kHolistic,      // unbounded state (MEDIAN, DISTINCT-COUNT)
+};
+
+AggregateClass ClassOf(AggregateFn fn);
+const char* AggregateFnName(AggregateFn fn);
+
+/// Streaming accumulator for one group. Distributive/algebraic functions
+/// keep O(1) state; holistic ones buffer their inputs.
+class Accumulator {
+ public:
+  explicit Accumulator(AggregateFn fn) : fn_(fn) {}
+
+  void Add(double value);
+  /// Merges another accumulator of the same function into this one.
+  /// Valid for every class (holistic merge concatenates buffers).
+  void Merge(const Accumulator& other);
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Final aggregate value. Requires a non-empty accumulator except for
+  /// COUNT (which returns 0).
+  double Result() const;
+
+  /// Serializes the mergeable partial state. Only valid for
+  /// distributive/algebraic functions; used by the map-side combiner.
+  /// Layout: [count, sum, sumsq, min, max].
+  void ToPartial(double out[5]) const;
+  static Accumulator FromPartial(AggregateFn fn, const double in[5]);
+
+  static constexpr int kPartialSize = 5;
+
+ private:
+  AggregateFn fn_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double sumsq_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> values_;  // holistic only
+};
+
+}  // namespace casm
+
+#endif  // CASM_MEASURE_AGGREGATE_H_

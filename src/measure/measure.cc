@@ -1,0 +1,159 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "measure/measure.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace casm {
+
+const char* RelationshipName(Relationship rel) {
+  switch (rel) {
+    case Relationship::kSelf:
+      return "self";
+    case Relationship::kChildParent:
+      return "child/parent";
+    case Relationship::kParentChild:
+      return "parent/child";
+    case Relationship::kSibling:
+      return "sibling";
+  }
+  return "unknown";
+}
+
+Expression Expression::Source(int edge_index) {
+  CASM_CHECK_GE(edge_index, 0);
+  Expression e;
+  Node node;
+  node.op = Op::kSource;
+  node.source = edge_index;
+  e.nodes_.push_back(node);
+  return e;
+}
+
+Expression Expression::Constant(double value) {
+  Expression e;
+  Node node;
+  node.op = Op::kConstant;
+  node.constant = value;
+  e.nodes_.push_back(node);
+  return e;
+}
+
+Expression Expression::Binary(Op op, const Expression& a,
+                              const Expression& b) {
+  CASM_CHECK(!a.empty() && !b.empty());
+  Expression e;
+  e.nodes_ = a.nodes_;
+  const int offset = static_cast<int>(e.nodes_.size());
+  for (Node node : b.nodes_) {
+    if (node.lhs >= 0) node.lhs += offset;
+    if (node.rhs >= 0) node.rhs += offset;
+    e.nodes_.push_back(node);
+  }
+  Node root;
+  root.op = op;
+  root.lhs = offset - 1;                             // a's root
+  root.rhs = static_cast<int>(e.nodes_.size()) - 1;  // b's root
+  e.nodes_.push_back(root);
+  return e;
+}
+
+Expression operator+(const Expression& a, const Expression& b) {
+  return Expression::Binary(Expression::Op::kAdd, a, b);
+}
+Expression operator-(const Expression& a, const Expression& b) {
+  return Expression::Binary(Expression::Op::kSub, a, b);
+}
+Expression operator*(const Expression& a, const Expression& b) {
+  return Expression::Binary(Expression::Op::kMul, a, b);
+}
+Expression operator/(const Expression& a, const Expression& b) {
+  return Expression::Binary(Expression::Op::kDiv, a, b);
+}
+
+int Expression::MaxSourceIndex() const {
+  int max_index = -1;
+  for (const Node& node : nodes_) {
+    if (node.op == Op::kSource) max_index = std::max(max_index, node.source);
+  }
+  return max_index;
+}
+
+double Expression::EvalNode(int index, const double* operand_values) const {
+  const Node& node = nodes_[static_cast<size_t>(index)];
+  switch (node.op) {
+    case Op::kSource:
+      return operand_values[node.source];
+    case Op::kConstant:
+      return node.constant;
+    case Op::kAdd:
+      return EvalNode(node.lhs, operand_values) +
+             EvalNode(node.rhs, operand_values);
+    case Op::kSub:
+      return EvalNode(node.lhs, operand_values) -
+             EvalNode(node.rhs, operand_values);
+    case Op::kMul:
+      return EvalNode(node.lhs, operand_values) *
+             EvalNode(node.rhs, operand_values);
+    case Op::kDiv:
+      return EvalNode(node.lhs, operand_values) /
+             EvalNode(node.rhs, operand_values);
+  }
+  CASM_CHECK(false);
+  return 0;
+}
+
+double Expression::Eval(const double* operand_values) const {
+  CASM_CHECK(!empty());
+  return EvalNode(static_cast<int>(nodes_.size()) - 1, operand_values);
+}
+
+namespace {
+
+std::string TrimmedNumber(double value) {
+  std::string text = std::to_string(value);
+  size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    size_t last = text.find_last_not_of('0');
+    if (last == dot) last = dot - 1;
+    text.erase(last + 1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string Expression::ToText(
+    const std::vector<std::string>& operand_names) const {
+  CASM_CHECK(!empty());
+  std::vector<std::string> rendered;
+  rendered.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    switch (node.op) {
+      case Op::kSource:
+        CASM_CHECK_LT(node.source, static_cast<int>(operand_names.size()));
+        rendered.push_back(operand_names[static_cast<size_t>(node.source)]);
+        break;
+      case Op::kConstant:
+        rendered.push_back(TrimmedNumber(node.constant));
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        const char* op = node.op == Op::kAdd   ? " + "
+                         : node.op == Op::kSub ? " - "
+                         : node.op == Op::kMul ? " * "
+                                               : " / ";
+        rendered.push_back("(" + rendered[static_cast<size_t>(node.lhs)] + op +
+                           rendered[static_cast<size_t>(node.rhs)] + ")");
+        break;
+      }
+    }
+  }
+  return rendered.back();
+}
+
+}  // namespace casm

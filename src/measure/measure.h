@@ -1,0 +1,120 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Measure specifications: the nodes and edges of an aggregation workflow
+// (paper §II-A, Table II). A measure is defined over a region set
+// (a granularity) and computed either from raw records (basic measures) or
+// from the results of source measures via one of the four relationships
+// self / child-parent / parent-child / sibling.
+
+#ifndef CASM_MEASURE_MEASURE_H_
+#define CASM_MEASURE_MEASURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/granularity.h"
+#include "cube/region.h"
+#include "measure/aggregate.h"
+
+namespace casm {
+
+/// How a source measure's regions relate to the target's (paper Table II).
+enum class Relationship {
+  kSelf,         // same region, same granularity
+  kChildParent,  // target is the parent: aggregates its child regions
+  kParentChild,  // target derives from the value of its parent region
+  kSibling,      // target aggregates a window of same-granularity siblings
+};
+
+const char* RelationshipName(Relationship rel);
+
+/// Sibling window on one numeric attribute: the target region at
+/// coordinate c aggregates source regions with coordinates in
+/// [c + lo, c + hi] (offsets in units of the target granularity's level
+/// for that attribute). Example: a trailing ten-minute moving average at
+/// minute granularity is {attr=Time, lo=-9, hi=0}.
+struct SiblingRange {
+  int attr = -1;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// A dependency edge from a source measure into the target.
+struct MeasureEdge {
+  int source = -1;  // index of the source measure in the workflow
+  Relationship rel = Relationship::kSelf;
+  SiblingRange sibling;  // meaningful iff rel == kSibling
+};
+
+/// Arithmetic over same-region source values (paper's "self" measures such
+/// as M3 = M1 / M2). Flat immutable AST with value semantics; operands
+/// refer to the target measure's edges by position.
+class Expression {
+ public:
+  /// The value of the `edge_index`-th source edge.
+  static Expression Source(int edge_index);
+  static Expression Constant(double value);
+
+  friend Expression operator+(const Expression& a, const Expression& b);
+  friend Expression operator-(const Expression& a, const Expression& b);
+  friend Expression operator*(const Expression& a, const Expression& b);
+  friend Expression operator/(const Expression& a, const Expression& b);
+
+  bool empty() const { return nodes_.empty(); }
+  /// Largest Source() index referenced, or -1 if none.
+  int MaxSourceIndex() const;
+
+  /// Evaluates with `operand_values[i]` as the value of Source(i).
+  /// Division follows IEEE semantics (x/0 yields +-inf or NaN).
+  double Eval(const double* operand_values) const;
+
+  /// Renders as infix text with Source(i) spelled as `operand_names[i]`
+  /// (fully parenthesized; parseable by the workflow parser).
+  std::string ToText(const std::vector<std::string>& operand_names) const;
+
+ private:
+  enum class Op { kSource, kConstant, kAdd, kSub, kMul, kDiv };
+  struct Node {
+    Op op;
+    int source = -1;     // kSource
+    double constant = 0; // kConstant
+    int lhs = -1;
+    int rhs = -1;
+  };
+
+  static Expression Binary(Op op, const Expression& a, const Expression& b);
+  double EvalNode(int index, const double* operand_values) const;
+
+  std::vector<Node> nodes_;  // root is the last node
+};
+
+/// How a measure's value is produced.
+enum class MeasureOp {
+  kAggregateRecords,  // basic measure: fn over a record field per region
+  kAggregateSources,  // fn over source measure values (children or window)
+  kExpression,        // arithmetic over single-valued source edges
+};
+
+/// One node of an aggregation workflow. Plain data; the Workflow validates
+/// cross-field invariants (see workflow.h).
+struct Measure {
+  std::string name;
+  Granularity granularity;
+  MeasureOp op = MeasureOp::kAggregateRecords;
+  AggregateFn fn = AggregateFn::kCount;  // kAggregateRecords / kAggregateSources
+  int field = -1;                        // record attribute; kAggregateRecords
+  std::vector<MeasureEdge> edges;        // incoming source edges
+  Expression expr;                       // kExpression
+};
+
+/// A computed measure value: the region coordinates (at the measure's
+/// granularity) and the value.
+struct MeasureResult {
+  Coords coords;
+  double value = 0;
+};
+
+}  // namespace casm
+
+#endif  // CASM_MEASURE_MEASURE_H_

@@ -1,0 +1,567 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "measure/workflow_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace casm {
+namespace {
+
+enum class TokenKind {
+  kName,
+  kNumber,
+  kAssign,    // :=
+  kColon,
+  kComma,
+  kSemi,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        column_ = 1;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      const int line = line_;
+      const int column = column_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        // Identifiers may contain '.' (measure names like "Q2.base").
+        std::string name;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          name += text_[pos_];
+          Advance();
+        }
+        tokens.push_back(Token{TokenKind::kName, std::move(name), 0, line,
+                               column});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string digits;
+        bool has_dot = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                (!has_dot && text_[pos_] == '.'))) {
+          has_dot = has_dot || text_[pos_] == '.';
+          digits += text_[pos_];
+          Advance();
+        }
+        Token token{TokenKind::kNumber, digits, std::atof(digits.c_str()),
+                    line, column};
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      TokenKind kind;
+      std::string text(1, c);
+      switch (c) {
+        case ':':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            kind = TokenKind::kAssign;
+            text = ":=";
+            Advance();
+          } else {
+            kind = TokenKind::kColon;
+          }
+          break;
+        case ',':
+          kind = TokenKind::kComma;
+          break;
+        case ';':
+          kind = TokenKind::kSemi;
+          break;
+        case '(':
+          kind = TokenKind::kLParen;
+          break;
+        case ')':
+          kind = TokenKind::kRParen;
+          break;
+        case '[':
+          kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          kind = TokenKind::kRBracket;
+          break;
+        case '+':
+          kind = TokenKind::kPlus;
+          break;
+        case '-':
+          kind = TokenKind::kMinus;
+          break;
+        case '*':
+          kind = TokenKind::kStar;
+          break;
+        case '/':
+          kind = TokenKind::kSlash;
+          break;
+        default:
+          return Status::InvalidArgument(
+              "unexpected character '" + std::string(1, c) + "' at line " +
+              std::to_string(line) + ":" + std::to_string(column));
+      }
+      Advance();
+      tokens.push_back(Token{kind, std::move(text), 0, line, column});
+    }
+    tokens.push_back(Token{TokenKind::kEof, "<eof>", 0, line_, column_});
+    return tokens;
+  }
+
+ private:
+  void Advance() {
+    ++pos_;
+    ++column_;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+std::optional<AggregateFn> AggregateFnByName(const std::string& name) {
+  for (AggregateFn fn :
+       {AggregateFn::kCount, AggregateFn::kSum, AggregateFn::kMin,
+        AggregateFn::kMax, AggregateFn::kAvg, AggregateFn::kVariance,
+        AggregateFn::kMedian, AggregateFn::kDistinctCount}) {
+    if (name == AggregateFnName(fn)) return fn;
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(SchemaPtr schema, std::vector<Token> tokens)
+      : schema_(std::move(schema)),
+        builder_(schema_),
+        tokens_(std::move(tokens)) {}
+
+  Result<Workflow> Parse() {
+    while (!At(TokenKind::kEof)) {
+      CASM_RETURN_IF_ERROR(ParseStatement());
+    }
+    if (measure_names_.empty()) {
+      return Status::InvalidArgument("workflow text defines no measures");
+    }
+    return std::move(builder_).Build();
+  }
+
+ private:
+  // ---- token helpers -----------------------------------------------------
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status ErrorAt(const Token& token, const std::string& message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(token.line) + ":" +
+                                   std::to_string(token.column));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!At(kind)) {
+      return ErrorAt(Peek(), std::string("expected ") + what + ", found '" +
+                                 Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // ---- name resolution ----------------------------------------------------
+  int MeasureByName(const std::string& name) const {
+    for (size_t i = 0; i < measure_names_.size(); ++i) {
+      if (measure_names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // ---- grammar -------------------------------------------------------------
+  Status ParseStatement() {
+    if (!At(TokenKind::kName)) {
+      return ErrorAt(Peek(), "expected a measure name");
+    }
+    Token name = Take();
+    CASM_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "':='"));
+
+    // Body: FN( ... ) or an expression.
+    bool is_aggregate = false;
+    std::optional<AggregateFn> fn;
+    if (At(TokenKind::kName) && Peek(1).kind == TokenKind::kLParen) {
+      fn = AggregateFnByName(Peek().text);
+      is_aggregate = fn.has_value();
+    }
+
+    Body body;
+    if (is_aggregate) {
+      CASM_RETURN_IF_ERROR(ParseAggregateBody(*fn, &body));
+    } else {
+      CASM_RETURN_IF_ERROR(ParseExpressionBody(&body));
+    }
+
+    // AT granularity ;
+    if (!At(TokenKind::kName) || Peek().text != "AT") {
+      return ErrorAt(Peek(), "expected 'AT' before the granularity");
+    }
+    Take();
+    Granularity gran;
+    CASM_RETURN_IF_ERROR(ParseGranularity(&gran));
+    CASM_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+
+    CASM_RETURN_IF_ERROR(EmitMeasure(name, std::move(body), std::move(gran)));
+    return Status::OK();
+  }
+
+  struct WindowRef {
+    int measure;
+    std::string attr;
+    int64_t lo, hi;
+  };
+  struct Body {
+    bool is_aggregate = false;
+    AggregateFn fn = AggregateFn::kCount;
+    int field = -1;                  // basic aggregate
+    std::vector<int> measure_args;   // composite aggregate (plain refs)
+    std::vector<WindowRef> windows;  // composite aggregate (OVER refs)
+    Expression expr;                 // expression body
+    std::vector<int> expr_measures;  // expression operands (edge order)
+  };
+
+  Status ParseAggregateBody(AggregateFn fn, Body* body) {
+    body->is_aggregate = true;
+    body->fn = fn;
+    Take();  // function name
+    CASM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    for (;;) {
+      if (!At(TokenKind::kName)) {
+        return ErrorAt(Peek(), "expected a field or measure name");
+      }
+      Token arg = Take();
+      const int measure = MeasureByName(arg.text);
+      if (At(TokenKind::kName) && Peek().text == "OVER") {
+        if (measure < 0) {
+          return ErrorAt(arg, "'" + arg.text +
+                                  "' is not a prior measure (windows apply "
+                                  "to measures)");
+        }
+        Take();  // OVER
+        WindowRef window;
+        window.measure = measure;
+        if (!At(TokenKind::kName)) {
+          return ErrorAt(Peek(), "expected an attribute name after OVER");
+        }
+        window.attr = Take().text;
+        CASM_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+        CASM_RETURN_IF_ERROR(ParseSignedInt(&window.lo));
+        CASM_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+        CASM_RETURN_IF_ERROR(ParseSignedInt(&window.hi));
+        CASM_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+        body->windows.push_back(std::move(window));
+      } else if (measure >= 0) {
+        body->measure_args.push_back(measure);
+      } else {
+        Result<int> field = schema_->AttributeIndex(arg.text);
+        if (!field.ok()) {
+          return ErrorAt(arg, "'" + arg.text +
+                                  "' is neither a prior measure nor a "
+                                  "schema attribute");
+        }
+        if (body->field >= 0) {
+          return ErrorAt(arg, "basic measures aggregate a single field");
+        }
+        body->field = field.value();
+      }
+      if (At(TokenKind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    CASM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    const bool has_measures =
+        !body->measure_args.empty() || !body->windows.empty();
+    if (body->field >= 0 && has_measures) {
+      return ErrorAt(Peek(),
+                     "cannot mix record fields and measures in one "
+                     "aggregate");
+    }
+    if (body->field < 0 && !has_measures) {
+      return ErrorAt(Peek(), "aggregate needs a field or measure argument");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSignedInt(int64_t* out) {
+    int64_t sign = 1;
+    if (At(TokenKind::kMinus)) {
+      Take();
+      sign = -1;
+    } else if (At(TokenKind::kPlus)) {
+      Take();
+    }
+    if (!At(TokenKind::kNumber)) {
+      return ErrorAt(Peek(), "expected an integer");
+    }
+    *out = sign * static_cast<int64_t>(Take().number);
+    return Status::OK();
+  }
+
+  // expr := term (('+'|'-') term)*
+  Status ParseExpressionBody(Body* body) {
+    body->is_aggregate = false;
+    CASM_RETURN_IF_ERROR(ParseExpr(body, &body->expr));
+    return Status::OK();
+  }
+
+  Status ParseExpr(Body* body, Expression* out) {
+    Expression lhs;
+    CASM_RETURN_IF_ERROR(ParseTerm(body, &lhs));
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      TokenKind op = Take().kind;
+      Expression rhs;
+      CASM_RETURN_IF_ERROR(ParseTerm(body, &rhs));
+      lhs = op == TokenKind::kPlus ? lhs + rhs : lhs - rhs;
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseTerm(Body* body, Expression* out) {
+    Expression lhs;
+    CASM_RETURN_IF_ERROR(ParseFactor(body, &lhs));
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
+      TokenKind op = Take().kind;
+      Expression rhs;
+      CASM_RETURN_IF_ERROR(ParseFactor(body, &rhs));
+      lhs = op == TokenKind::kStar ? lhs * rhs : lhs / rhs;
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseFactor(Body* body, Expression* out) {
+    if (At(TokenKind::kNumber)) {
+      *out = Expression::Constant(Take().number);
+      return Status::OK();
+    }
+    if (At(TokenKind::kMinus)) {  // unary minus
+      Take();
+      Expression inner;
+      CASM_RETURN_IF_ERROR(ParseFactor(body, &inner));
+      *out = Expression::Constant(0) - inner;
+      return Status::OK();
+    }
+    if (At(TokenKind::kLParen)) {
+      Take();
+      CASM_RETURN_IF_ERROR(ParseExpr(body, out));
+      return Expect(TokenKind::kRParen, "')'");
+    }
+    if (At(TokenKind::kName)) {
+      Token name = Take();
+      int measure = MeasureByName(name.text);
+      if (measure < 0) {
+        return ErrorAt(name, "'" + name.text +
+                                 "' is not a prior measure (expressions "
+                                 "combine measures and numbers)");
+      }
+      int operand = -1;
+      for (size_t i = 0; i < body->expr_measures.size(); ++i) {
+        if (body->expr_measures[i] == measure) operand = static_cast<int>(i);
+      }
+      if (operand < 0) {
+        operand = static_cast<int>(body->expr_measures.size());
+        body->expr_measures.push_back(measure);
+      }
+      *out = Expression::Source(operand);
+      return Status::OK();
+    }
+    return ErrorAt(Peek(), "expected a number, measure or '('");
+  }
+
+  Status ParseGranularity(Granularity* out) {
+    std::vector<std::pair<std::string, std::string>> parts;
+    for (;;) {
+      if (!At(TokenKind::kName)) {
+        return ErrorAt(Peek(), "expected an attribute name");
+      }
+      std::string attr = Take().text;
+      CASM_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+      if (!At(TokenKind::kName)) {
+        return ErrorAt(Peek(), "expected a level name");
+      }
+      parts.emplace_back(std::move(attr), Take().text);
+      if (At(TokenKind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    CASM_ASSIGN_OR_RETURN(*out, Granularity::Of(*schema_, parts));
+    return Status::OK();
+  }
+
+  /// Infers the relationship of a measure reference from granularities.
+  Result<MeasureEdge> InferEdge(int source, const Granularity& target_gran,
+                                const Token& where) const {
+    const Granularity& source_gran = grans_[static_cast<size_t>(source)];
+    if (source_gran == target_gran) return WorkflowBuilder::Self(source);
+    if (target_gran.IsMoreGeneralOrEqual(source_gran)) {
+      return WorkflowBuilder::ChildParent(source);
+    }
+    if (source_gran.IsMoreGeneralOrEqual(target_gran)) {
+      return WorkflowBuilder::ParentChild(source);
+    }
+    return ErrorAt(where, "measure '" +
+                              measure_names_[static_cast<size_t>(source)] +
+                              "' has a granularity incomparable with the "
+                              "target's");
+  }
+
+  Status EmitMeasure(const Token& name, Body body, Granularity gran) {
+    if (MeasureByName(name.text) >= 0) {
+      return ErrorAt(name, "duplicate measure name '" + name.text + "'");
+    }
+    if (body.is_aggregate && body.field >= 0) {
+      builder_.AddBasic(name.text, gran, body.fn,
+                        schema_->attribute(body.field).name());
+    } else if (body.is_aggregate) {
+      std::vector<MeasureEdge> edges;
+      for (int source : body.measure_args) {
+        CASM_ASSIGN_OR_RETURN(MeasureEdge edge,
+                              InferEdge(source, gran, name));
+        edges.push_back(edge);
+      }
+      for (const WindowRef& window : body.windows) {
+        CASM_ASSIGN_OR_RETURN(int attr, schema_->AttributeIndex(window.attr));
+        MeasureEdge edge;
+        edge.source = window.measure;
+        edge.rel = Relationship::kSibling;
+        edge.sibling = SiblingRange{attr, window.lo, window.hi};
+        edges.push_back(edge);
+      }
+      builder_.AddSourceAggregate(name.text, gran, body.fn, std::move(edges));
+    } else {
+      std::vector<MeasureEdge> edges;
+      for (int source : body.expr_measures) {
+        CASM_ASSIGN_OR_RETURN(MeasureEdge edge,
+                              InferEdge(source, gran, name));
+        edges.push_back(edge);
+      }
+      builder_.AddExpression(name.text, gran, std::move(body.expr),
+                             std::move(edges));
+    }
+    measure_names_.push_back(name.text);
+    grans_.push_back(std::move(gran));
+    return Status::OK();
+  }
+
+  SchemaPtr schema_;
+  WorkflowBuilder builder_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::string> measure_names_;
+  std::vector<Granularity> grans_;
+};
+
+}  // namespace
+
+Result<Workflow> ParseWorkflow(SchemaPtr schema, std::string_view text) {
+  CASM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  return Parser(std::move(schema), std::move(tokens)).Parse();
+}
+
+std::string FormatWorkflow(const Workflow& wf) {
+  const Schema& schema = *wf.schema();
+  std::string out;
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    out += m.name + " := ";
+    switch (m.op) {
+      case MeasureOp::kAggregateRecords:
+        out += std::string(AggregateFnName(m.fn)) + "(" +
+               schema.attribute(m.field).name() + ")";
+        break;
+      case MeasureOp::kAggregateSources: {
+        out += std::string(AggregateFnName(m.fn)) + "(";
+        for (size_t e = 0; e < m.edges.size(); ++e) {
+          if (e) out += ", ";
+          const MeasureEdge& edge = m.edges[e];
+          out += wf.measure(edge.source).name;
+          if (edge.rel == Relationship::kSibling) {
+            out += " OVER " + schema.attribute(edge.sibling.attr).name() +
+                   "[" + std::to_string(edge.sibling.lo) + "," +
+                   std::to_string(edge.sibling.hi) + "]";
+          }
+        }
+        out += ")";
+        break;
+      }
+      case MeasureOp::kExpression: {
+        std::vector<std::string> operands;
+        for (const MeasureEdge& edge : m.edges) {
+          operands.push_back(wf.measure(edge.source).name);
+        }
+        out += m.expr.ToText(operands);
+        break;
+      }
+    }
+    // Granularity (ALL attributes omitted; fully-ALL uses the first
+    // attribute explicitly so the statement stays parseable).
+    std::string gran_text;
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).is_all(m.granularity.level(a))) continue;
+      if (!gran_text.empty()) gran_text += ", ";
+      gran_text += schema.attribute(a).name() + ":" +
+                   schema.attribute(a).level_name(m.granularity.level(a));
+    }
+    if (gran_text.empty()) {
+      gran_text = schema.attribute(0).name() + ":" +
+                  schema.attribute(0).level_name(
+                      schema.attribute(0).all_level());
+    }
+    out += " AT " + gran_text + ";\n";
+  }
+  return out;
+}
+
+}  // namespace casm

@@ -1,0 +1,51 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// A textual front-end for aggregation workflows — the paper's pictorial
+// query language (Figure 1) in concrete syntax:
+//
+//   M1 := MEDIAN(PageCount)        AT Keyword:word, Time:minute;
+//   M2 := MEDIAN(AdCount)          AT Keyword:word, Time:hour;
+//   M3 := M1 / M2                  AT Keyword:word, Time:minute;
+//   M4 := AVG(M3 OVER Time[-9,0])  AT Keyword:word, Time:minute;
+//
+// Grammar (';'-terminated statements, '#' comments to end of line):
+//
+//   statement  := NAME ':=' body 'AT' granularity ';'
+//   body       := FN '(' args ')'        aggregate measure
+//               | expr                   arithmetic over prior measures
+//   args       := item (',' item)*
+//   item       := FIELD                  basic measure (record attribute)
+//               | MEASURE                prior measure (self/child/parent
+//                                        inferred from granularities)
+//               | MEASURE 'OVER' ATTR '[' INT ',' INT ']'   sibling window
+//   expr       := term (('+'|'-') term)*
+//   term       := factor (('*'|'/') factor)*
+//   factor     := NUMBER | MEASURE | '(' expr ')'
+//   granularity:= ATTR ':' LEVEL (',' ATTR ':' LEVEL)*   (omitted = ALL)
+//
+// Relationship inference for measure references: same granularity -> self;
+// reference finer than target -> child/parent (roll-up); reference coarser
+// than target -> parent/child (drill value down). Aggregate functions:
+// COUNT SUM MIN MAX AVG VARIANCE MEDIAN DISTINCT_COUNT.
+
+#ifndef CASM_MEASURE_WORKFLOW_PARSER_H_
+#define CASM_MEASURE_WORKFLOW_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "measure/workflow.h"
+
+namespace casm {
+
+/// Parses `text` into a validated Workflow over `schema`. Errors carry
+/// 1-based line/column positions.
+Result<Workflow> ParseWorkflow(SchemaPtr schema, std::string_view text);
+
+/// Renders `wf` back into parseable text (round-trips through
+/// ParseWorkflow up to formatting).
+std::string FormatWorkflow(const Workflow& wf);
+
+}  // namespace casm
+
+#endif  // CASM_MEASURE_WORKFLOW_PARSER_H_

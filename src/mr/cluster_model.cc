@@ -1,0 +1,35 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "mr/cluster_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace casm {
+
+double ReducerCostSeconds(double pairs, const ClusterCostParams& params) {
+  const double log2p = pairs > 2 ? std::log2(pairs) : 1.0;
+  return pairs * (params.transfer_seconds_per_record +
+                  params.sort_seconds_per_record_per_log2 * log2p +
+                  params.eval_seconds_per_record);
+}
+
+double ModeledResponseSeconds(const MapReduceMetrics& metrics,
+                              int num_map_slots,
+                              const ClusterCostParams& params) {
+  CASM_CHECK_GE(num_map_slots, 1);
+  const double map_records = static_cast<double>(metrics.input_rows) /
+                             static_cast<double>(num_map_slots);
+  double t = params.startup_seconds + map_records * params.map_seconds_per_record;
+
+  double worst_reducer = 0;
+  for (int64_t pairs : metrics.reducer_pairs) {
+    worst_reducer = std::max(
+        worst_reducer, ReducerCostSeconds(static_cast<double>(pairs), params));
+  }
+  return t + worst_reducer;
+}
+
+}  // namespace casm

@@ -1,0 +1,220 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "mr/external_sort.h"
+
+namespace casm {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int CompareKeys(const int64_t* a, const int64_t* b, int width) {
+  for (int i = 0; i < width; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t PartitionHash(const int64_t* key, int width) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < width; ++i) {
+    uint64_t x = static_cast<uint64_t>(key[i]);
+    h ^= x;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+Emitter::Emitter(int num_reducers, int key_width, int value_width)
+    : key_width_(key_width),
+      value_width_(value_width),
+      buffers_(static_cast<size_t>(num_reducers)) {}
+
+void Emitter::Emit(const int64_t* key, const int64_t* value) {
+  size_t reducer =
+      static_cast<size_t>(PartitionHash(key, key_width_) % buffers_.size());
+  std::vector<int64_t>& buf = buffers_[reducer];
+  buf.insert(buf.end(), key, key + key_width_);
+  buf.insert(buf.end(), value, value + value_width_);
+  ++emitted_;
+}
+
+std::vector<int64_t> GroupView::CopyValues() const {
+  std::vector<int64_t> out;
+  const int value_width = pair_width_ - key_width_;
+  out.reserve(static_cast<size_t>(count_) * static_cast<size_t>(value_width));
+  for (int64_t i = 0; i < count_; ++i) {
+    const int64_t* v = value(i);
+    out.insert(out.end(), v, v + value_width);
+  }
+  return out;
+}
+
+MapReduceEngine::MapReduceEngine(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  num_threads_ = num_threads;
+}
+
+Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
+                                              int64_t num_input_rows) {
+  if (spec.num_mappers < 1 || spec.num_reducers < 1) {
+    return Status::InvalidArgument("need at least one mapper and reducer");
+  }
+  if (spec.key_width < 1 || spec.value_width < 0) {
+    return Status::InvalidArgument("bad key/value width");
+  }
+  if (!spec.map_fn) return Status::InvalidArgument("map_fn is required");
+  if (!spec.map_only && !spec.skip_reduce && !spec.reduce_fn) {
+    return Status::InvalidArgument(
+        "reduce_fn is required unless map_only/skip_reduce");
+  }
+
+  const int num_mappers = spec.num_mappers;
+  const int num_reducers = spec.num_reducers;
+  const int pair_width = spec.key_width + spec.value_width;
+
+  MapReduceMetrics metrics;
+  metrics.input_rows = num_input_rows;
+  metrics.reducer_pairs.assign(static_cast<size_t>(num_reducers), 0);
+  metrics.reducer_groups.assign(static_cast<size_t>(num_reducers), 0);
+
+  auto total_start = std::chrono::steady_clock::now();
+  ThreadPool pool(num_threads_);
+
+  // ---- Map phase: each mapper processes one input split.
+  auto map_start = std::chrono::steady_clock::now();
+  std::vector<Emitter> emitters;
+  emitters.reserve(static_cast<size_t>(num_mappers));
+  for (int m = 0; m < num_mappers; ++m) {
+    emitters.emplace_back(num_reducers, spec.key_width, spec.value_width);
+  }
+  const int64_t rows_per_mapper =
+      (num_input_rows + num_mappers - 1) / num_mappers;
+  pool.ParallelFor(static_cast<size_t>(num_mappers), [&](size_t m) {
+    if (spec.split_fn) {
+      for (const auto& [begin, end] : spec.split_fn(static_cast<int>(m))) {
+        if (begin < end) spec.map_fn(begin, end, &emitters[m]);
+      }
+      return;
+    }
+    int64_t begin = static_cast<int64_t>(m) * rows_per_mapper;
+    int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
+    if (begin >= end) return;
+    spec.map_fn(begin, end, &emitters[m]);
+  });
+  metrics.map_seconds = SecondsSince(map_start);
+
+  for (const Emitter& e : emitters) metrics.emitted_pairs += e.emitted();
+  for (int r = 0; r < num_reducers; ++r) {
+    int64_t pairs = 0;
+    for (const Emitter& e : emitters) {
+      pairs += static_cast<int64_t>(e.buffers_[static_cast<size_t>(r)].size()) /
+               pair_width;
+    }
+    metrics.reducer_pairs[static_cast<size_t>(r)] = pairs;
+  }
+
+  if (spec.map_only) {
+    metrics.total_seconds = SecondsSince(total_start);
+    return metrics;
+  }
+
+  // ---- Shuffle + framework sort + reduce, per (virtual) reducer.
+  std::vector<double> sort_seconds(static_cast<size_t>(num_reducers), 0);
+  std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0);
+  std::mutex error_mu;
+  Status first_error;
+
+  pool.ParallelFor(static_cast<size_t>(num_reducers), [&](size_t r) {
+    auto sort_start = std::chrono::steady_clock::now();
+    // Gather this reducer's pairs from every mapper.
+    size_t total = 0;
+    for (const Emitter& e : emitters) total += e.buffers_[r].size();
+    std::vector<int64_t> pairs;
+    pairs.reserve(total);
+    for (const Emitter& e : emitters) {
+      pairs.insert(pairs.end(), e.buffers_[r].begin(), e.buffers_[r].end());
+    }
+    const int64_t count = static_cast<int64_t>(pairs.size()) / pair_width;
+
+    // Sort by key (and by value within key if a secondary order is given),
+    // spilling to disk beyond the per-reducer memory budget.
+    const int key_width = spec.key_width;
+    auto pair_less = [&](const int64_t* px, const int64_t* py) {
+      int c = CompareKeys(px, py, key_width);
+      if (c != 0) return c < 0;
+      if (spec.value_less) {
+        return spec.value_less(px + key_width, py + key_width);
+      }
+      return false;
+    };
+    ExternalSortOptions sort_options;
+    sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
+    sort_options.temp_dir = spec.spill_dir;
+    ExternalSortStats spill;
+    Result<std::vector<int64_t>> sort_result = ExternalSort(
+        std::move(pairs), pair_width, pair_less, sort_options, &spill);
+    if (!sort_result.ok()) {
+      std::unique_lock<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = sort_result.status();
+      return;
+    }
+    std::vector<int64_t> sorted = std::move(sort_result).value();
+    {
+      std::unique_lock<std::mutex> lock(error_mu);
+      metrics.spilled_runs += spill.runs_spilled;
+      metrics.spilled_records += spill.records_spilled;
+    }
+    sort_seconds[r] = SecondsSince(sort_start);
+
+    // Walk key groups.
+    auto reduce_start = std::chrono::steady_clock::now();
+    int64_t groups = 0;
+    int64_t begin = 0;
+    while (begin < count) {
+      int64_t end = begin + 1;
+      const int64_t* first = sorted.data() + begin * pair_width;
+      while (end < count &&
+             CompareKeys(first, sorted.data() + end * pair_width, key_width) ==
+                 0) {
+        ++end;
+      }
+      ++groups;
+      if (!spec.skip_reduce) {
+        GroupView group(first, end - begin, spec.key_width, spec.value_width);
+        spec.reduce_fn(static_cast<int>(r), group);
+      }
+      begin = end;
+    }
+    metrics.reducer_groups[r] = groups;
+    reduce_seconds[r] = SecondsSince(reduce_start);
+  });
+
+  if (!first_error.ok()) return first_error;
+  for (double s : sort_seconds) metrics.shuffle_sort_seconds += s;
+  for (double s : reduce_seconds) metrics.reduce_seconds += s;
+  metrics.total_seconds = SecondsSince(total_start);
+  return metrics;
+}
+
+}  // namespace casm

@@ -1,0 +1,139 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// An in-process MapReduce engine (the paper's Hadoop substrate, §III-A,
+// rebuilt from scratch). It executes the real dataflow — mappers emit
+// key/value pairs, pairs are partitioned to reducers, each reducer groups
+// its pairs by key and invokes a user reduce function per group — on a
+// thread pool, with per-phase and per-reducer metrics.
+//
+// Keys and values are fixed-width int64 tuples, stored flattened
+// ([key..., value...]) in per-(mapper, reducer) buffers, which keeps the
+// shuffle allocation-free per pair. The number of reducers is *virtual*:
+// it models the paper's cluster-task count and may exceed the worker
+// thread count; per-reducer workloads are what the optimizer and the
+// cluster model consume.
+
+#ifndef CASM_MR_ENGINE_H_
+#define CASM_MR_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/metrics.h"
+
+namespace casm {
+
+/// The engine's key-to-reducer hash (reducer = hash % num_reducers).
+/// Exposed so that the skew module's simulated dispatch predicts exactly
+/// the assignment a real run would produce.
+uint64_t PartitionHash(const int64_t* key, int width);
+
+/// Mapper-side sink for key/value pairs. Not thread-safe; each mapper task
+/// owns one.
+class Emitter {
+ public:
+  Emitter(int num_reducers, int key_width, int value_width);
+
+  /// Routes (key, value) to the reducer that owns `key`. The partition is
+  /// a hash of the key — the uniform random block assignment of §IV-A.
+  void Emit(const int64_t* key, const int64_t* value);
+
+  int64_t emitted() const { return emitted_; }
+
+ private:
+  friend class MapReduceEngine;
+  int key_width_;
+  int value_width_;
+  int64_t emitted_ = 0;
+  // Per-reducer buffer of flattened [key..., value...] entries.
+  std::vector<std::vector<int64_t>> buffers_;
+};
+
+/// A key group handed to the reduce function: `size()` values sharing one
+/// key, stored at a fixed stride.
+class GroupView {
+ public:
+  GroupView(const int64_t* base, int64_t count, int key_width,
+            int value_width)
+      : base_(base),
+        count_(count),
+        key_width_(key_width),
+        pair_width_(key_width + value_width) {}
+
+  const int64_t* key() const { return base_; }
+  int64_t size() const { return count_; }
+  const int64_t* value(int64_t i) const {
+    return base_ + i * pair_width_ + key_width_;
+  }
+
+  /// Copies the values into a contiguous row-major buffer (stripping keys).
+  std::vector<int64_t> CopyValues() const;
+
+ private:
+  const int64_t* base_;
+  int64_t count_;
+  int key_width_;
+  int pair_width_;
+};
+
+/// Specification of one MapReduce job.
+struct MapReduceSpec {
+  int num_mappers = 1;   // input splits / map tasks
+  int num_reducers = 1;  // virtual reduce tasks
+  int key_width = 1;     // int64s per key
+  int value_width = 1;   // int64s per value
+
+  /// Map task: process input rows [begin, end) and emit pairs.
+  std::function<void(int64_t begin, int64_t end, Emitter* emitter)> map_fn;
+
+  /// Optional input-split assignment (e.g. from a DistributedFile's
+  /// locality-aware scheduler): the row ranges mapper `m` processes.
+  /// Default: one contiguous chunk per mapper.
+  std::function<std::vector<std::pair<int64_t, int64_t>>(int mapper)>
+      split_fn;
+
+  /// Reduce: invoked once per key group. May be empty (map-only job).
+  /// Invoked concurrently for groups of different reducers; groups of one
+  /// reducer are delivered sequentially in key order.
+  std::function<void(int reducer, const GroupView& group)> reduce_fn;
+
+  /// Optional secondary sort: orders values within a key group (the
+  /// combined-sort optimization of §III-D, where the framework sort also
+  /// establishes the local algorithm's record order).
+  std::function<bool(const int64_t* a, const int64_t* b)> value_less;
+
+  /// Stop after the map phase (the "Map-Only" bar of Fig 4(d)).
+  bool map_only = false;
+  /// Group pairs by key but skip reduce_fn (the "MR" bar of Fig 4(d)).
+  bool skip_reduce = false;
+
+  /// Per-reducer memory budget for the framework sort, in pairs; when a
+  /// reducer's input exceeds it, sorted runs spill to disk and are merged
+  /// (external sorting, paper §III-A). 0 = unlimited.
+  int64_t reducer_memory_limit_pairs = 0;
+  /// Spill directory (empty = system temp dir).
+  std::string spill_dir;
+};
+
+/// Executes MapReduce jobs on an internal thread pool.
+class MapReduceEngine {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency.
+  explicit MapReduceEngine(int num_threads);
+
+  /// Runs the job over `num_input_rows` abstract input rows (the map_fn
+  /// interprets row indices). Returns metrics on success.
+  Result<MapReduceMetrics> Run(const MapReduceSpec& spec,
+                               int64_t num_input_rows);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  int num_threads_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_MR_ENGINE_H_

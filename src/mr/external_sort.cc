@@ -1,0 +1,164 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "mr/external_sort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace casm {
+namespace {
+
+/// Sorts a flat buffer of `count` rows of `width` int64s via an index
+/// permutation and materializes the permuted buffer.
+std::vector<int64_t> SortFlat(std::vector<int64_t> records, int width,
+                              const RecordLess& less) {
+  const int64_t count = static_cast<int64_t>(records.size()) / width;
+  std::vector<int64_t> order(static_cast<size_t>(count));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return less(records.data() + a * width, records.data() + b * width);
+  });
+  std::vector<int64_t> sorted;
+  sorted.reserve(records.size());
+  for (int64_t i : order) {
+    const int64_t* row = records.data() + i * width;
+    sorted.insert(sorted.end(), row, row + width);
+  }
+  return sorted;
+}
+
+/// One spilled sorted run with a small read buffer.
+class RunReader {
+ public:
+  RunReader(const std::string& path, int width, int64_t buffer_records)
+      : path_(path),
+        width_(width),
+        buffer_records_(std::max<int64_t>(1, buffer_records)) {
+    file_ = std::fopen(path.c_str(), "rb");
+  }
+  ~RunReader() {
+    if (file_ != nullptr) std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Pointer to the current record, or nullptr at end of run.
+  const int64_t* Current() {
+    if (pos_ >= available_ && !Refill()) return nullptr;
+    return buffer_.data() + pos_ * width_;
+  }
+
+  void Next() { ++pos_; }
+
+ private:
+  bool Refill() {
+    buffer_.resize(static_cast<size_t>(buffer_records_ * width_));
+    size_t read = std::fread(buffer_.data(), sizeof(int64_t),
+                             buffer_.size(), file_);
+    available_ = static_cast<int64_t>(read) / width_;
+    pos_ = 0;
+    return available_ > 0;
+  }
+
+  std::string path_;
+  int width_;
+  int64_t buffer_records_;
+  std::FILE* file_ = nullptr;
+  std::vector<int64_t> buffer_;
+  int64_t pos_ = 0;
+  int64_t available_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
+                                          int width, const RecordLess& less,
+                                          const ExternalSortOptions& options,
+                                          ExternalSortStats* stats) {
+  CASM_CHECK_GE(width, 1);
+  CASM_CHECK_EQ(static_cast<int64_t>(records.size()) % width, 0);
+  const int64_t count = static_cast<int64_t>(records.size()) / width;
+  const int64_t limit = options.memory_limit_records;
+  if (limit <= 0 || count <= limit) {
+    return SortFlat(std::move(records), width, less);
+  }
+
+  // Spill sorted runs of `limit` records each.
+  std::string dir = options.temp_dir.empty()
+                        ? std::filesystem::temp_directory_path().string()
+                        : options.temp_dir;
+  static std::atomic<uint64_t> counter{0};
+  std::vector<std::string> run_paths;
+  for (int64_t begin = 0; begin < count; begin += limit) {
+    const int64_t run_count = std::min(limit, count - begin);
+    std::vector<int64_t> run(
+        records.begin() + begin * width,
+        records.begin() + (begin + run_count) * width);
+    run = SortFlat(std::move(run), width, less);
+    std::string path = dir + "/casm_sort_" +
+                       std::to_string(counter.fetch_add(1)) + ".run";
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::Internal("cannot create spill file " + path);
+    }
+    size_t written =
+        std::fwrite(run.data(), sizeof(int64_t), run.size(), file);
+    std::fclose(file);
+    if (written != run.size()) {
+      std::remove(path.c_str());
+      return Status::Internal("short write to spill file " + path);
+    }
+    run_paths.push_back(std::move(path));
+    if (stats != nullptr) {
+      ++stats->runs_spilled;
+      stats->records_spilled += run_count;
+    }
+  }
+  records.clear();
+  records.shrink_to_fit();
+
+  // K-way merge with a loser-tree-ish heap over the run heads.
+  std::vector<std::unique_ptr<RunReader>> runs;
+  const int64_t per_run_buffer =
+      std::max<int64_t>(1, limit / static_cast<int64_t>(run_paths.size()));
+  for (const std::string& path : run_paths) {
+    auto reader = std::make_unique<RunReader>(path, width, per_run_buffer);
+    if (!reader->ok()) {
+      return Status::Internal("cannot reopen spill file " + path);
+    }
+    runs.push_back(std::move(reader));
+  }
+
+  auto heap_greater = [&](size_t a, size_t b) {
+    // std::priority_queue is a max-heap; invert.
+    return less(runs[b]->Current(), runs[a]->Current());
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(heap_greater)>
+      heap(heap_greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r]->Current() != nullptr) heap.push(r);
+  }
+
+  std::vector<int64_t> sorted;
+  sorted.reserve(static_cast<size_t>(count * width));
+  while (!heap.empty()) {
+    size_t r = heap.top();
+    heap.pop();
+    const int64_t* row = runs[r]->Current();
+    sorted.insert(sorted.end(), row, row + width);
+    runs[r]->Next();
+    if (runs[r]->Current() != nullptr) heap.push(r);
+  }
+  CASM_CHECK_EQ(static_cast<int64_t>(sorted.size()), count * width);
+  return sorted;
+}
+
+}  // namespace casm

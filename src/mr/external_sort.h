@@ -1,0 +1,47 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// External merge sort of fixed-width int64 records (the reducer-side
+// "collect pairs and use external sorting to group pairs with the same
+// key" of paper §III-A). When the input fits the memory budget it is a
+// plain in-memory sort; otherwise sorted runs are spilled to temporary
+// files and k-way merged.
+
+#ifndef CASM_MR_EXTERNAL_SORT_H_
+#define CASM_MR_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace casm {
+
+struct ExternalSortOptions {
+  /// Maximum records held in memory at once; 0 = unlimited (pure
+  /// in-memory sort).
+  int64_t memory_limit_records = 0;
+  /// Directory for spill files; empty = std::filesystem::temp_directory_path().
+  std::string temp_dir;
+};
+
+struct ExternalSortStats {
+  int64_t runs_spilled = 0;
+  int64_t records_spilled = 0;
+};
+
+/// Record comparator over two record pointers (each `width` int64s).
+using RecordLess = std::function<bool(const int64_t*, const int64_t*)>;
+
+/// Sorts `records` (flattened rows of `width` int64s) by `less`, spilling
+/// to disk when the memory budget is exceeded. Returns the sorted flat
+/// buffer. `stats` may be null.
+Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
+                                          int width, const RecordLess& less,
+                                          const ExternalSortOptions& options,
+                                          ExternalSortStats* stats);
+
+}  // namespace casm
+
+#endif  // CASM_MR_EXTERNAL_SORT_H_

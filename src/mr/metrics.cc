@@ -1,0 +1,61 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "mr/metrics.h"
+
+#include <algorithm>
+
+namespace casm {
+
+int64_t MapReduceMetrics::MaxReducerPairs() const {
+  int64_t max_pairs = 0;
+  for (int64_t p : reducer_pairs) max_pairs = std::max(max_pairs, p);
+  return max_pairs;
+}
+
+int64_t MapReduceMetrics::TotalGroups() const {
+  int64_t total = 0;
+  for (int64_t g : reducer_groups) total += g;
+  return total;
+}
+
+double MapReduceMetrics::ReplicationFactor() const {
+  return input_rows == 0 ? 0
+                         : static_cast<double>(emitted_pairs) /
+                               static_cast<double>(input_rows);
+}
+
+std::string MapReduceMetrics::ToString() const {
+  std::string out;
+  out += "input_rows=" + std::to_string(input_rows);
+  out += " emitted_pairs=" + std::to_string(emitted_pairs);
+  out += " replication=" + std::to_string(ReplicationFactor());
+  out += " reducers=" + std::to_string(reducer_pairs.size());
+  out += " max_reducer_pairs=" + std::to_string(MaxReducerPairs());
+  out += " groups=" + std::to_string(TotalGroups());
+  out += " map_s=" + std::to_string(map_seconds);
+  out += " shuffle_sort_s=" + std::to_string(shuffle_sort_seconds);
+  out += " reduce_s=" + std::to_string(reduce_seconds);
+  out += " total_s=" + std::to_string(total_seconds);
+  return out;
+}
+
+void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
+  input_rows += other.input_rows;
+  emitted_pairs += other.emitted_pairs;
+  if (reducer_pairs.size() < other.reducer_pairs.size()) {
+    reducer_pairs.resize(other.reducer_pairs.size(), 0);
+    reducer_groups.resize(other.reducer_groups.size(), 0);
+  }
+  for (size_t i = 0; i < other.reducer_pairs.size(); ++i) {
+    reducer_pairs[i] += other.reducer_pairs[i];
+  }
+  for (size_t i = 0; i < other.reducer_groups.size(); ++i) {
+    reducer_groups[i] += other.reducer_groups[i];
+  }
+  map_seconds += other.map_seconds;
+  shuffle_sort_seconds += other.shuffle_sort_seconds;
+  reduce_seconds += other.reduce_seconds;
+  total_seconds += other.total_seconds;
+}
+
+}  // namespace casm

@@ -1,0 +1,50 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Execution metrics for one MapReduce run. The paper's experiments reduce
+// to per-phase work and the per-reducer workload distribution; every
+// benchmark and the skew handler read these counters.
+
+#ifndef CASM_MR_METRICS_H_
+#define CASM_MR_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casm {
+
+struct MapReduceMetrics {
+  int64_t input_rows = 0;
+  /// Key/value pairs emitted by mappers (>= input_rows under overlapping
+  /// redistribution).
+  int64_t emitted_pairs = 0;
+  /// Pairs received per reducer (the workload distribution).
+  std::vector<int64_t> reducer_pairs;
+  /// Distinct key groups per reducer.
+  std::vector<int64_t> reducer_groups;
+
+  /// External-sort spill activity across all reducers (0 when the inputs
+  /// fit the memory budget).
+  int64_t spilled_runs = 0;
+  int64_t spilled_records = 0;
+
+  // Wall-clock phase timings of the in-process engine.
+  double map_seconds = 0;
+  double shuffle_sort_seconds = 0;  // grouping pairs by key per reducer
+  double reduce_seconds = 0;        // user reduce fn (local sort + eval)
+  double total_seconds = 0;
+
+  int64_t MaxReducerPairs() const;
+  int64_t TotalGroups() const;
+  /// emitted / input: the data-duplication factor of the distribution.
+  double ReplicationFactor() const;
+
+  std::string ToString() const;
+
+  /// Accumulates another run's metrics (used by multi-job evaluations).
+  void Accumulate(const MapReduceMetrics& other);
+};
+
+}  // namespace casm
+
+#endif  // CASM_MR_METRICS_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "queries/paper_data.h"
+
+#include "common/logging.h"
+
+namespace casm {
+namespace {
+
+constexpr int64_t kDay = 86400;
+constexpr int64_t kDays = 20;
+
+Hierarchy IntegerAttribute(const std::string& name) {
+  Result<Hierarchy> h = Hierarchy::Numeric(
+      name, 256, {4, 16, 64}, {"value", "tier1", "tier2", "tier3"});
+  CASM_CHECK(h.ok()) << h.status().ToString();
+  return std::move(h).value();
+}
+
+Hierarchy TemporalAttribute(const std::string& name) {
+  Result<Hierarchy> h =
+      Hierarchy::Numeric(name, kDays * kDay, {60, 3600, kDay},
+                         {"second", "minute", "hour", "day"});
+  CASM_CHECK(h.ok()) << h.status().ToString();
+  return std::move(h).value();
+}
+
+}  // namespace
+
+SchemaPtr PaperSchema() {
+  return MakeSchemaOrDie({IntegerAttribute("D1"), IntegerAttribute("D2"),
+                          IntegerAttribute("D3"), IntegerAttribute("D4"),
+                          TemporalAttribute("T1"), TemporalAttribute("T2")});
+}
+
+Table PaperUniformTable(int64_t rows, uint64_t seed) {
+  return GenerateUniformTable(PaperSchema(), rows, seed);
+}
+
+Table PaperSkewedTable(int64_t rows, uint64_t seed) {
+  SchemaPtr schema = PaperSchema();
+  std::vector<AttributeDistribution> dists(6, AttributeDistribution::Uniform());
+  dists[4] = AttributeDistribution::UniformRange(0, 5 * kDay - 1);
+  dists[5] = AttributeDistribution::UniformRange(0, 5 * kDay - 1);
+  Result<Table> table = GenerateTable(schema, rows, std::move(dists), seed);
+  CASM_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+SchemaPtr WeblogSchema() {
+  constexpr int64_t kWords = 1000;
+  std::vector<int64_t> word_to_group(kWords);
+  for (int64_t w = 0; w < kWords; ++w) word_to_group[static_cast<size_t>(w)] = w / 20;
+  Result<Hierarchy> keyword =
+      Hierarchy::Nominal("Keyword", kWords, {word_to_group}, {"word", "group"});
+  CASM_CHECK(keyword.ok()) << keyword.status().ToString();
+
+  auto count_attr = [](const std::string& name) {
+    Result<Hierarchy> h = Hierarchy::Numeric(name, 21, {7}, {"value", "level"});
+    CASM_CHECK(h.ok()) << h.status().ToString();
+    return std::move(h).value();
+  };
+  Result<Hierarchy> time = Hierarchy::Numeric(
+      "Time", kDays * 1440, {60, 1440}, {"minute", "hour", "day"});
+  CASM_CHECK(time.ok()) << time.status().ToString();
+
+  return MakeSchemaOrDie({std::move(keyword).value(), count_attr("PageCount"),
+                          count_attr("AdCount"), std::move(time).value()});
+}
+
+Table WeblogTable(int64_t rows, uint64_t seed) {
+  SchemaPtr schema = WeblogSchema();
+  std::vector<AttributeDistribution> dists = {
+      AttributeDistribution::Zipf(1.1),  // keywords are heavy-tailed
+      AttributeDistribution::Uniform(), AttributeDistribution::Uniform(),
+      AttributeDistribution::Uniform()};
+  Result<Table> table = GenerateTable(schema, rows, std::move(dists), seed);
+  CASM_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+}  // namespace casm

@@ -1,0 +1,43 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// The paper's evaluation datasets (§VI): a schema with four integer
+// attributes drawn from [0, 255] under a four-level hierarchy and two
+// temporal attributes (second/minute/hour/day) spanning a twenty-day
+// period; uniform and temporally skewed variants (skew = all time values
+// in the first five days). Plus the weblog-analysis schema of the paper's
+// introduction (Table I).
+
+#ifndef CASM_QUERIES_PAPER_DATA_H_
+#define CASM_QUERIES_PAPER_DATA_H_
+
+#include <cstdint>
+
+#include "data/generator.h"
+#include "data/table.h"
+
+namespace casm {
+
+/// §VI synthetic schema: D1..D4 integer in [0,255] with levels
+/// value(1)/tier1(4)/tier2(16)/tier3(64)/ALL, T1..T2 temporal over 20 days
+/// with levels second/minute/hour/day/ALL.
+SchemaPtr PaperSchema();
+
+/// Uniform records over PaperSchema().
+Table PaperUniformTable(int64_t rows, uint64_t seed);
+
+/// Temporally skewed records: both temporal attributes drawn uniformly
+/// from the first five of the twenty days (§VI).
+Table PaperSkewedTable(int64_t rows, uint64_t seed);
+
+/// Intro example schema (Table I): Keyword (nominal word/group/ALL,
+/// 1000 words in 50 groups), PageCount and AdCount in [0,20] with
+/// value/level/ALL, Time over 20 days with minute/hour/day/ALL.
+SchemaPtr WeblogSchema();
+
+/// Search-session log over WeblogSchema(): Zipf keywords, uniform counts
+/// and times.
+Table WeblogTable(int64_t rows, uint64_t seed);
+
+}  // namespace casm
+
+#endif  // CASM_QUERIES_PAPER_DATA_H_

@@ -1,0 +1,209 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "queries/paper_queries.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "queries/paper_data.h"
+
+namespace casm {
+namespace {
+
+Granularity Gran(const SchemaPtr& schema,
+                 std::vector<std::pair<std::string, std::string>> parts) {
+  Result<Granularity> g = Granularity::Of(*schema, parts);
+  CASM_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+Workflow BuildOrDie(WorkflowBuilder&& builder) {
+  Result<Workflow> wf = std::move(builder).Build();
+  CASM_CHECK(wf.ok()) << wf.status().ToString();
+  return std::move(wf).value();
+}
+
+Workflow MakeQ1(const SchemaPtr& schema) {
+  // Three independent basic measures over different fine region sets. They
+  // share the (D1, T1) grouping so the least common ancestor key stays
+  // fine-grained (<D1:value, T1:minute>) and the query parallelizes well.
+  WorkflowBuilder b(schema);
+  b.AddBasic("Q1a", Gran(schema, {{"D1", "value"}, {"T1", "minute"}}),
+             AggregateFn::kCount, "D1");
+  b.AddBasic("Q1b",
+             Gran(schema, {{"D1", "value"}, {"D2", "value"}, {"T1", "minute"}}),
+             AggregateFn::kSum, "D3");
+  b.AddBasic("Q1c",
+             Gran(schema, {{"D1", "value"}, {"D3", "tier1"}, {"T1", "minute"}}),
+             AggregateFn::kMax, "D4");
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeQ2(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("Q2.base", Gran(schema, {{"D2", "value"}, {"T1", "hour"}}),
+                      AggregateFn::kSum, "D1");
+  b.AddSourceAggregate("Q2.parent",
+                       Gran(schema, {{"D2", "tier1"}, {"T1", "hour"}}),
+                       AggregateFn::kAvg, {WorkflowBuilder::ChildParent(m1)});
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeQ3(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  Granularity fine = Gran(schema, {{"D1", "value"}, {"T1", "hour"}});
+  Granularity mid = Gran(schema, {{"D1", "tier1"}, {"T1", "day"}});
+  Granularity coarse = Gran(schema, {{"D1", "tier2"}, {"T1", "day"}});
+  int m1 = b.AddBasic("Q3.sum", fine, AggregateFn::kSum, "D2");
+  int m2 = b.AddBasic("Q3.count", fine, AggregateFn::kCount, "D2");
+  int m3 = b.AddSourceAggregate("Q3.sum.up", mid, AggregateFn::kSum,
+                                {WorkflowBuilder::ChildParent(m1)});
+  int m4 = b.AddSourceAggregate("Q3.count.up", mid, AggregateFn::kSum,
+                                {WorkflowBuilder::ChildParent(m2)});
+  b.AddSourceAggregate("Q3.top", coarse, AggregateFn::kAvg,
+                       {WorkflowBuilder::ChildParent(m3),
+                        WorkflowBuilder::ChildParent(m4)});
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeQ4(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  Granularity fine = Gran(schema, {{"D1", "value"}, {"T1", "hour"}});
+  Granularity coarse = Gran(schema, {{"D1", "tier1"}, {"T1", "day"}});
+  int m1 = b.AddBasic("Q4.fine", fine, AggregateFn::kSum, "D2");
+  int m2 = b.AddBasic("Q4.coarse", coarse, AggregateFn::kCount, "D2");
+  b.AddSourceAggregate(
+      "Q4.combined", coarse, AggregateFn::kSum,
+      {WorkflowBuilder::Self(m2), WorkflowBuilder::ChildParent(m1)});
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeQ5(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  Granularity hourly = Gran(schema, {{"D1", "value"}, {"T1", "hour"}});
+  int m1 = b.AddBasic("Q5.hourly", hourly, AggregateFn::kSum, "D2");
+  b.AddSourceAggregate("Q5.trailing", hourly, AggregateFn::kAvg,
+                       {b.Sibling(m1, "T1", -10, -1)});
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeQ6(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  Granularity minute = Gran(schema, {{"D1", "value"}, {"T1", "minute"}});
+  Granularity hour = Gran(schema, {{"D1", "value"}, {"T1", "hour"}});
+  Granularity mid_hour = Gran(schema, {{"D1", "tier1"}, {"T1", "hour"}});
+  int m1 = b.AddBasic("Q6.m1", minute, AggregateFn::kMedian, "D2");
+  int m2 = b.AddBasic("Q6.m2", hour, AggregateFn::kMedian, "D3");
+  int m3 = b.AddExpression(
+      "Q6.ratio", minute, Expression::Source(0) / Expression::Source(1),
+      {WorkflowBuilder::Self(m1), WorkflowBuilder::ParentChild(m2)});
+  int m4 = b.AddSourceAggregate("Q6.rollup", mid_hour, AggregateFn::kSum,
+                                {WorkflowBuilder::ChildParent(m3)});
+  b.AddSourceAggregate("Q6.window", mid_hour, AggregateFn::kAvg,
+                       {b.Sibling(m4, "T1", -24, 0)});
+  return BuildOrDie(std::move(b));
+}
+
+Workflow MakeDs(const SchemaPtr& schema, PaperQuery query) {
+  Granularity base = Granularity::Top(*schema);
+  Granularity up = Granularity::Top(*schema);
+  switch (query) {
+    case PaperQuery::kDS0:
+      base = Gran(schema, {{"D1", "tier3"}, {"T1", "day"}});
+      up = Gran(schema, {{"T1", "day"}});
+      break;
+    case PaperQuery::kDS1:
+      base = Gran(schema, {{"D1", "tier1"}, {"T1", "day"}});
+      up = Gran(schema, {{"D1", "tier2"}, {"T1", "day"}});
+      break;
+    case PaperQuery::kDS2:
+      base = Gran(schema,
+                  {{"D1", "value"}, {"D2", "value"}, {"T1", "minute"}});
+      up = Gran(schema, {{"D1", "value"}, {"D2", "value"}, {"T1", "hour"}});
+      break;
+    default:
+      CASM_CHECK(false);
+  }
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("DS.count", base, AggregateFn::kCount, "D2");
+  int m2 = b.AddBasic("DS.sum", base, AggregateFn::kSum, "D2");
+  int m3 = b.AddExpression(
+      "DS.mean", base, Expression::Source(1) / Expression::Source(0),
+      {WorkflowBuilder::Self(m1), WorkflowBuilder::Self(m2)});
+  b.AddSourceAggregate("DS.up", up, AggregateFn::kAvg,
+                       {WorkflowBuilder::ChildParent(m3)});
+  return BuildOrDie(std::move(b));
+}
+
+}  // namespace
+
+const char* PaperQueryName(PaperQuery query) {
+  switch (query) {
+    case PaperQuery::kQ1:
+      return "Q1";
+    case PaperQuery::kQ2:
+      return "Q2";
+    case PaperQuery::kQ3:
+      return "Q3";
+    case PaperQuery::kQ4:
+      return "Q4";
+    case PaperQuery::kQ5:
+      return "Q5";
+    case PaperQuery::kQ6:
+      return "Q6";
+    case PaperQuery::kDS0:
+      return "DS0";
+    case PaperQuery::kDS1:
+      return "DS1";
+    case PaperQuery::kDS2:
+      return "DS2";
+  }
+  return "unknown";
+}
+
+std::vector<PaperQuery> AllPaperQueries() {
+  return {PaperQuery::kQ1,  PaperQuery::kQ2,  PaperQuery::kQ3,
+          PaperQuery::kQ4,  PaperQuery::kQ5,  PaperQuery::kQ6,
+          PaperQuery::kDS0, PaperQuery::kDS1, PaperQuery::kDS2};
+}
+
+Workflow MakePaperQuery(PaperQuery query) {
+  SchemaPtr schema = PaperSchema();
+  switch (query) {
+    case PaperQuery::kQ1:
+      return MakeQ1(schema);
+    case PaperQuery::kQ2:
+      return MakeQ2(schema);
+    case PaperQuery::kQ3:
+      return MakeQ3(schema);
+    case PaperQuery::kQ4:
+      return MakeQ4(schema);
+    case PaperQuery::kQ5:
+      return MakeQ5(schema);
+    case PaperQuery::kQ6:
+      return MakeQ6(schema);
+    case PaperQuery::kDS0:
+    case PaperQuery::kDS1:
+    case PaperQuery::kDS2:
+      return MakeDs(schema, query);
+  }
+  CASM_CHECK(false);
+  return MakeQ1(schema);
+}
+
+Workflow MakeWeblogWorkflow() {
+  SchemaPtr schema = WeblogSchema();
+  WorkflowBuilder b(schema);
+  Granularity minute = Gran(schema, {{"Keyword", "word"}, {"Time", "minute"}});
+  Granularity hour = Gran(schema, {{"Keyword", "word"}, {"Time", "hour"}});
+  int m1 = b.AddBasic("M1", minute, AggregateFn::kMedian, "PageCount");
+  int m2 = b.AddBasic("M2", hour, AggregateFn::kMedian, "AdCount");
+  int m3 = b.AddExpression(
+      "M3", minute, Expression::Source(0) / Expression::Source(1),
+      {WorkflowBuilder::Self(m1), WorkflowBuilder::ParentChild(m2)});
+  b.AddSourceAggregate("M4", minute, AggregateFn::kAvg,
+                       {b.Sibling(m3, "Time", -9, 0)});
+  return BuildOrDie(std::move(b));
+}
+
+}  // namespace casm

@@ -1,0 +1,39 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// The evaluation workloads of paper §VI (queries Q1–Q6 and the early-
+// aggregation queries DS0–DS2) plus the introduction's weblog analysis
+// (measures M1–M4), expressed against the schemas of paper_data.h.
+
+#ifndef CASM_QUERIES_PAPER_QUERIES_H_
+#define CASM_QUERIES_PAPER_QUERIES_H_
+
+#include <vector>
+
+#include "measure/workflow.h"
+
+namespace casm {
+
+enum class PaperQuery {
+  kQ1,   // three independent fine-granularity basic measures
+  kQ2,   // parent aggregated from children
+  kQ3,   // five measures; two child-aggregation chains joined at parents
+  kQ4,   // combines same-region and child sources
+  kQ5,   // sibling relation: hourly summary of the preceding hours
+  kQ6,   // all four relations, topped by a sliding time window
+  kDS0,  // early-aggregation query, very coarse basic grouping
+  kDS1,  // early-aggregation query, intermediate grouping
+  kDS2,  // early-aggregation query, fine grouping
+};
+
+const char* PaperQueryName(PaperQuery query);
+std::vector<PaperQuery> AllPaperQueries();
+
+/// Builds the query against PaperSchema() (paper_data.h).
+Workflow MakePaperQuery(PaperQuery query);
+
+/// The intro's M1–M4 against WeblogSchema().
+Workflow MakeWeblogWorkflow();
+
+}  // namespace casm
+
+#endif  // CASM_QUERIES_PAPER_QUERIES_H_

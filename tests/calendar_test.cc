@@ -1,0 +1,188 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for irregular (calendar-style) hierarchies: construction,
+// mapping, the paper's variable-month offset-conversion example
+// (day(-10,+60) -> month(-1,+3)), key derivation over calendars, and
+// end-to-end parallel evaluation with sliding windows across uneven
+// month boundaries.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "core/key_derivation.h"
+#include "core/parallel_evaluator.h"
+#include "data/generator.h"
+#include "local/reference_evaluator.h"
+
+namespace casm {
+namespace {
+
+/// One non-leap year of days with real month lengths, plus quarters.
+Hierarchy CalendarYear() {
+  const int64_t month_len[12] = {31, 28, 31, 30, 31, 30,
+                                 31, 31, 30, 31, 30, 31};
+  std::vector<int64_t> month_starts, quarter_starts;
+  int64_t day = 0;
+  for (int m = 0; m < 12; ++m) {
+    month_starts.push_back(day);
+    if (m % 3 == 0) quarter_starts.push_back(day);
+    day += month_len[m];
+  }
+  return Hierarchy::NumericIrregular("Date", 365,
+                                     {month_starts, quarter_starts},
+                                     {"day", "month", "quarter"})
+      .value();
+}
+
+TEST(CalendarTest, ConstructionAndCounts) {
+  Hierarchy h = CalendarYear();
+  EXPECT_FALSE(h.uniform());
+  EXPECT_EQ(h.num_levels(), 4);
+  EXPECT_EQ(h.LevelValueCount(0), 365);
+  EXPECT_EQ(h.LevelValueCount(1), 12);
+  EXPECT_EQ(h.LevelValueCount(2), 4);
+  EXPECT_EQ(h.min_unit(1), 28);
+  EXPECT_EQ(h.max_unit(1), 31);
+  EXPECT_EQ(h.min_unit(2), 90);   // Q1 non-leap
+  EXPECT_EQ(h.max_unit(2), 92);
+}
+
+TEST(CalendarTest, MapFromFinest) {
+  Hierarchy h = CalendarYear();
+  EXPECT_EQ(h.MapFromFinest(0, 1), 0);    // Jan 1
+  EXPECT_EQ(h.MapFromFinest(30, 1), 0);   // Jan 31
+  EXPECT_EQ(h.MapFromFinest(31, 1), 1);   // Feb 1
+  EXPECT_EQ(h.MapFromFinest(58, 1), 1);   // Feb 28
+  EXPECT_EQ(h.MapFromFinest(59, 1), 2);   // Mar 1
+  EXPECT_EQ(h.MapFromFinest(364, 1), 11); // Dec 31
+  EXPECT_EQ(h.MapFromFinest(100, 3), 0);  // ALL
+}
+
+TEST(CalendarTest, MapUpChainsThroughLevels) {
+  Hierarchy h = CalendarYear();
+  // April (month 3) sits in Q2 (quarter 1).
+  EXPECT_EQ(h.MapUp(3, 1, 2), 1);
+  // Day 59 (Mar 1) -> month 2 -> quarter 0.
+  EXPECT_EQ(h.MapUp(59, 0, 1), 2);
+  EXPECT_EQ(h.MapUp(2, 1, 2), 0);
+  EXPECT_EQ(h.MapUp(5, 1, 3), 0);  // ALL
+}
+
+TEST(CalendarTest, RejectsInvalidStarts) {
+  EXPECT_FALSE(Hierarchy::NumericIrregular("X", 10, {{1, 5}}, {"a", "b"})
+                   .ok());  // must start at 0
+  EXPECT_FALSE(Hierarchy::NumericIrregular("X", 10, {{0, 5, 5}}, {"a", "b"})
+                   .ok());  // strictly increasing
+  EXPECT_FALSE(Hierarchy::NumericIrregular("X", 10, {{0, 12}}, {"a", "b"})
+                   .ok());  // inside domain
+  // Level 2 start 3 is not a level-1 start: no nesting.
+  EXPECT_FALSE(Hierarchy::NumericIrregular("X", 10, {{0, 5}, {0, 3}},
+                                           {"a", "b", "c"})
+                   .ok());
+  EXPECT_TRUE(Hierarchy::NumericIrregular("X", 10, {{0, 5}, {0, 5}},
+                                          {"a", "b", "c"})
+                  .ok());
+}
+
+TEST(CalendarTest, PaperDayToMonthConversion) {
+  // The paper's §III-B.2 example with real variable-length months: "the
+  // annotation T:day(-10,+60) can be converted into T:month(-1,+3)...
+  // a ten-day time window spans at most two months and a 60-day time
+  // window spans at most three months."
+  Hierarchy h = CalendarYear();
+  int64_t lo = -10, hi = 60;
+  ConvertLevelOffsets(h, 0, 1, &lo, &hi);
+  EXPECT_EQ(lo, -1);
+  EXPECT_EQ(hi, 3);
+}
+
+TEST(CalendarTest, UniformAndIrregularAgreeOnRegularData) {
+  // An irregular hierarchy with equal-size regions must convert offsets
+  // at least as conservatively as the uniform formula.
+  std::vector<int64_t> starts;
+  for (int64_t s = 0; s < 120; s += 10) starts.push_back(s);
+  Hierarchy irregular =
+      Hierarchy::NumericIrregular("X", 120, {starts}, {"v", "ten"}).value();
+  Hierarchy uniform =
+      Hierarchy::Numeric("X", 120, {10}, {"v", "ten"}).value();
+  for (int64_t lo : {-25, -10, 0}) {
+    for (int64_t hi : {0, 5, 30}) {
+      int64_t ulo = lo, uhi = hi, ilo = lo, ihi = hi;
+      ConvertLevelOffsets(uniform, 0, 1, &ulo, &uhi);
+      ConvertLevelOffsets(irregular, 0, 1, &ilo, &ihi);
+      EXPECT_LE(ilo, ulo) << lo << "," << hi;
+      EXPECT_GE(ihi, uhi) << lo << "," << hi;
+    }
+  }
+}
+
+SchemaPtr CalendarSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("Sensor", 24, {6}, {"id", "group"}).value(),
+       CalendarYear()});
+}
+
+TEST(CalendarTest, KeyDerivationOverCalendar) {
+  SchemaPtr schema = CalendarSchema();
+  WorkflowBuilder b(schema);
+  Granularity daily =
+      Granularity::Of(*schema, {{"Sensor", "id"}, {"Date", "day"}}).value();
+  int m1 = b.AddBasic("daily", daily, AggregateFn::kSum, "Sensor");
+  int m2 = b.AddSourceAggregate("monthly",
+                                Granularity::Of(*schema, {{"Sensor", "id"},
+                                                          {"Date", "month"}})
+                                    .value(),
+                                AggregateFn::kAvg,
+                                {WorkflowBuilder::ChildParent(m1)});
+  b.AddSourceAggregate("trailing", daily, AggregateFn::kAvg,
+                       {b.Sibling(m1, "Date", -10, 0)});
+  (void)m2;
+  Workflow wf = std::move(b).Build().value();
+  DistributionKey key = DeriveDistributionKeys(wf).query_key;
+  // Month level (from "monthly"), one month of history (10-day window can
+  // cross one month boundary).
+  EXPECT_EQ(key.ToString(*schema), "<Sensor:id, Date:month(-1,0)>");
+  EXPECT_TRUE(IsFeasible(wf, key));
+  DistributionKey shrunk = key;
+  shrunk.mutable_component(1).lo = 0;
+  EXPECT_FALSE(IsFeasible(wf, shrunk));
+}
+
+TEST(CalendarTest, ParallelEvaluationAcrossMonthBoundaries) {
+  SchemaPtr schema = CalendarSchema();
+  WorkflowBuilder b(schema);
+  Granularity daily =
+      Granularity::Of(*schema, {{"Sensor", "id"}, {"Date", "day"}}).value();
+  Granularity monthly =
+      Granularity::Of(*schema, {{"Sensor", "group"}, {"Date", "month"}})
+          .value();
+  int m1 = b.AddBasic("daily", daily, AggregateFn::kSum, "Sensor");
+  int m2 = b.AddSourceAggregate("trailing", daily, AggregateFn::kAvg,
+                                {b.Sibling(m1, "Date", -13, 0)});
+  b.AddSourceAggregate("monthly", monthly, AggregateFn::kMax,
+                       {WorkflowBuilder::ChildParent(m2)});
+  Workflow wf = std::move(b).Build().value();
+
+  Table table = GenerateUniformTable(schema, 4000, 2027);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  DistributionKey key = DeriveDistributionKeys(wf).query_key;
+  ASSERT_TRUE(IsFeasible(wf, key));
+  for (int64_t cf : {1, 2, 4}) {
+    ExecutionPlan plan;
+    plan.key = key;
+    plan.clustering_factor = cf;
+    ParallelEvalOptions opts;
+    opts.num_mappers = 3;
+    opts.num_reducers = 4;
+    opts.num_threads = 2;
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, plan, opts);
+    ASSERT_TRUE(result.ok()) << "cf=" << cf << ": " << result.status();
+    Status match = CompareResultSets(expected, result->results, 1e-9);
+    EXPECT_TRUE(match.ok()) << "cf=" << cf << ": " << match.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,162 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for src/common: Status/Result, integer math, the RNG and the
+// thread pool.
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace casm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  CASM_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  CASM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+
+  Result<int> err = ParsePositive(-3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(MathTest, FloorDivRoundsTowardsNegativeInfinity) {
+  EXPECT_EQ(FloorDiv(9, 3), 3);
+  EXPECT_EQ(FloorDiv(10, 3), 3);
+  EXPECT_EQ(FloorDiv(-1, 3), -1);
+  EXPECT_EQ(FloorDiv(-3, 3), -1);
+  EXPECT_EQ(FloorDiv(-4, 3), -2);
+  EXPECT_EQ(FloorDiv(0, 5), 0);
+}
+
+TEST(MathTest, CeilDivRoundsTowardsPositiveInfinity) {
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(-1, 3), 0);
+  EXPECT_EQ(CeilDiv(-4, 3), -1);
+}
+
+TEST(MathTest, FloorModIsAlwaysNonNegative) {
+  for (int64_t a = -20; a <= 20; ++a) {
+    for (int64_t b : {1, 2, 3, 7}) {
+      int64_t m = FloorMod(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+      EXPECT_EQ(FloorDiv(a, b) * b + m, a);
+    }
+  }
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversTheRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(257);
+  pool.ParallelFor(visits.size(), [&](size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,122 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the §IV cost model: the order-statistics approximation against
+// Monte-Carlo simulation, monotonicity properties the optimizer relies on,
+// and the cubic-equation clustering-factor solver against exhaustive
+// search.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace casm {
+namespace {
+
+TEST(CostModelTest, ExpectedMaxNormalGrowsWithM) {
+  double prev = ExpectedMaxStandardNormal(2);
+  for (int m : {4, 8, 16, 64, 256}) {
+    double cur = ExpectedMaxStandardNormal(m);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+  // Known ballpark: E[max of 100 normals] ~ 2.5.
+  EXPECT_NEAR(ExpectedMaxStandardNormal(100), 2.5, 0.2);
+}
+
+TEST(CostModelTest, SingleReducerGetsEverything) {
+  EXPECT_DOUBLE_EQ(ExpectedMaxReducerLoad(1e6, 1000, 1), 1e6);
+  EXPECT_DOUBLE_EQ(NonOverlappingMaxLoad(500, 10, 1), 500);
+}
+
+TEST(CostModelTest, MatchesMonteCarloWithinAFewPercent) {
+  // The paper's approximation is asymptotic in the block count; check it
+  // against simulation across a grid.
+  for (int m : {4, 16, 50}) {
+    for (int64_t blocks : {1000, 10000}) {
+      const double total = 1e6;
+      double analytic = ExpectedMaxReducerLoad(total, blocks, m);
+      double simulated = SimulatedMaxReducerLoad(total, blocks, m, 300, 42);
+      EXPECT_NEAR(analytic / simulated, 1.0, 0.05)
+          << "m=" << m << " blocks=" << blocks;
+    }
+  }
+}
+
+TEST(CostModelTest, MoreBlocksBalanceBetter) {
+  // Formula (2) decreases monotonically in n_g (paper §IV-A).
+  double prev = NonOverlappingMaxLoad(1000000, 100, 16);
+  for (int64_t n_g : {1000, 10000, 100000}) {
+    double cur = NonOverlappingMaxLoad(1000000, n_g, 16);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // And it is never below the perfect split.
+  EXPECT_GE(NonOverlappingMaxLoad(1000000, 100000, 16), 1000000.0 / 16);
+}
+
+TEST(CostModelTest, OverlapTradesDuplicationForBalance) {
+  const int64_t n = 1000000, n_g = 20000, d = 24;
+  const int m = 50;
+  // cf = 1 duplicates ~ (d+1)x; cf = n_g destroys parallelism. An interior
+  // cf must beat both.
+  double at_1 = OverlappingMaxLoad(n, n_g, d, m, 1);
+  double at_max = OverlappingMaxLoad(n, n_g, d, m, n_g);
+  int64_t cf_opt = OptimalClusteringFactor(n, n_g, d, m, 0);
+  double at_opt = OverlappingMaxLoad(n, n_g, d, m, cf_opt);
+  EXPECT_LT(at_opt, at_1);
+  EXPECT_LT(at_opt, at_max);
+  EXPECT_GT(cf_opt, 1);
+  EXPECT_LT(cf_opt, n_g);
+}
+
+TEST(CostModelTest, CubicSolverMatchesExhaustiveSearch) {
+  struct Case {
+    int64_t n, n_g, d;
+    int m;
+  };
+  for (Case c : {Case{1000000, 20000, 24, 50}, Case{500000, 5000, 10, 16},
+                 Case{2000000, 100000, 100, 100}, Case{100000, 1000, 3, 8},
+                 Case{1000000, 30720, 24, 50}}) {
+    int64_t solver = OptimalClusteringFactor(c.n, c.n_g, c.d, c.m, 0);
+    int64_t best = 1;
+    double best_load = OverlappingMaxLoad(c.n, c.n_g, c.d, c.m, 1);
+    for (int64_t cf = 1; cf <= c.n_g; ++cf) {
+      double load = OverlappingMaxLoad(c.n, c.n_g, c.d, c.m, cf);
+      if (load < best_load) {
+        best_load = load;
+        best = cf;
+      }
+    }
+    double solver_load = OverlappingMaxLoad(c.n, c.n_g, c.d, c.m, solver);
+    // The solver must land within a hair of the exhaustive optimum (the
+    // discrete argmin may differ where the curve is flat).
+    EXPECT_NEAR(solver_load / best_load, 1.0, 1e-3)
+        << "n_g=" << c.n_g << " d=" << c.d << " m=" << c.m
+        << " solver=" << solver << " best=" << best;
+  }
+}
+
+TEST(CostModelTest, NoOverlapMeansNoClustering) {
+  EXPECT_EQ(OptimalClusteringFactor(1000000, 10000, 0, 50, 0), 1);
+}
+
+TEST(CostModelTest, MinBlocksConstraintCapsClustering) {
+  const int64_t n = 1000000, n_g = 20000, d = 24;
+  const int m = 50;
+  int64_t unconstrained = OptimalClusteringFactor(n, n_g, d, m, 0);
+  int64_t constrained = OptimalClusteringFactor(n, n_g, d, m, 4);
+  // With >= 4 blocks per reducer, cf <= n_g / (4 * m) = 100.
+  EXPECT_LE(constrained, n_g / (4 * m));
+  EXPECT_LE(constrained, std::max<int64_t>(unconstrained, n_g / (4 * m)));
+}
+
+TEST(CostModelTest, SingleReducerPrefersMaximalClustering) {
+  // m = 1 pays only for duplication, so cluster everything.
+  EXPECT_EQ(OptimalClusteringFactor(1000, 100, 5, 1, 0), 100);
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,213 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the independent feasibility checker (core/coverage.h),
+// including brute-force cross-validation against coverage sets computed by
+// the instrumented reference evaluator: for every measure result, all of
+// its covering records must be replicated into the block that owns it.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "core/key_derivation.h"
+#include "core/keygen.h"
+#include "data/generator.h"
+#include "local/reference_evaluator.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+SchemaPtr TestSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 16, {4}, {"value", "bucket"}).value(),
+       Hierarchy::Numeric("T", 48, {4, 16}, {"tick", "quad", "span"})
+           .value()});
+}
+
+Granularity Gran(const SchemaPtr& s, const std::string& xl,
+                 const std::string& tl) {
+  return Granularity::Of(*s, {{"X", xl}, {"T", tl}}).value();
+}
+
+Workflow WindowWorkflow(const SchemaPtr& schema, int64_t lo, int64_t hi) {
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("base", Gran(schema, "value", "tick"),
+                      AggregateFn::kSum, "X");
+  b.AddSourceAggregate("win", Gran(schema, "value", "tick"),
+                       AggregateFn::kAvg, {b.Sibling(m1, "T", lo, hi)});
+  return std::move(b).Build().value();
+}
+
+TEST(CoverageTest, LevelMustDominateEveryMeasure) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("m", Gran(schema, "value", "quad"), AggregateFn::kSum, "X");
+  Workflow wf = std::move(b).Build().value();
+
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"X", "value", 0, 0},
+                                        {"T", "quad", 0, 0}})
+              .value()));
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"X", "bucket", 0, 0}}).value()));
+  // T finer than the measure's quad level: infeasible.
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"X", "value", 0, 0},
+                                        {"T", "tick", 0, 0}})
+              .value()));
+}
+
+TEST(CoverageTest, WindowNeedsAnnotationOrCoarseLevel) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema, -3, 0);
+
+  // Fine level without annotation: infeasible.
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", 0, 0}}).value()));
+  // Exact annotation: feasible.
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", -3, 0}}).value()));
+  // Too small: infeasible.
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", -2, 0}}).value()));
+  // Coarser level with the worst-case converted annotation: a 3-tick
+  // trailing window at quad level (unit 4) needs quad(-1, 0).
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "quad", -1, 0}}).value()));
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "quad", 0, 0}}).value()));
+  // ALL level needs no annotation.
+  EXPECT_TRUE(IsFeasible(wf, DistributionKey::Of(*schema, {}).value()));
+}
+
+TEST(CoverageTest, ChainedWindowsAccumulate) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("base", Gran(schema, "value", "tick"),
+                      AggregateFn::kSum, "X");
+  int m2 = b.AddSourceAggregate("w1", Gran(schema, "value", "tick"),
+                                AggregateFn::kAvg,
+                                {b.Sibling(m1, "T", -2, 0)});
+  b.AddSourceAggregate("w2", Gran(schema, "value", "tick"),
+                       AggregateFn::kAvg, {b.Sibling(m2, "T", -2, 0)});
+  Workflow wf = std::move(b).Build().value();
+  // w2 at t needs w1 at [t-2, t], each needing base at two more back:
+  // total [t-4, t].
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", -4, 0}}).value()));
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", -3, 0}}).value()));
+}
+
+TEST(CoverageTest, ForwardWindows) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema, 0, 2);
+  EXPECT_TRUE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", 0, 2}}).value()));
+  EXPECT_FALSE(IsFeasible(
+      wf, DistributionKey::Of(*schema, {{"T", "tick", 0, 1}}).value()));
+}
+
+TEST(CoverageTest, RejectsAnnotationOnNominal) {
+  SchemaPtr schema = MakeSchemaOrDie(
+      {Hierarchy::Nominal("K", 4, {{0, 0, 1, 1}}, {"word", "group"}).value(),
+       Hierarchy::Numeric("T", 48, {4}, {"tick", "quad"}).value()});
+  WorkflowBuilder b(schema);
+  Granularity g =
+      Granularity::Of(*schema, {{"K", "word"}, {"T", "tick"}}).value();
+  b.AddBasic("m", g, AggregateFn::kSum, "T");
+  Workflow wf = std::move(b).Build().value();
+  DistributionKey key =
+      DistributionKey::AtGranularity(g);
+  key.mutable_component(0).hi = 1;  // bypass Of()'s validation
+  EXPECT_FALSE(IsFeasible(wf, key));
+}
+
+TEST(CoverageTest, CheckerAgreesWithDerivedKeysOnPaperQueries) {
+  for (PaperQuery q : AllPaperQueries()) {
+    Workflow wf = MakePaperQuery(q);
+    EXPECT_TRUE(IsFeasible(wf, DeriveDistributionKeys(wf).query_key))
+        << PaperQueryName(q);
+  }
+}
+
+/// Brute-force validation: for every measure result, every record in its
+/// coverage set must be replicated into the block owning the result.
+void CheckCoverageContainment(const Workflow& wf, const Table& table,
+                              const ExecutionPlan& plan) {
+  const Schema& schema = *wf.schema();
+  CoverageInfo coverage;
+  EvaluateReferenceWithCoverage(wf, table, &coverage);
+  std::vector<KeyGenAttr> keygen = BuildKeyGen(schema, plan);
+  const int num_attrs = schema.num_attributes();
+
+  // Replica blocks per record.
+  std::vector<std::vector<Coords>> replicas(
+      static_cast<size_t>(table.num_rows()));
+  std::vector<int64_t> g(static_cast<size_t>(num_attrs));
+  std::vector<int64_t> key(static_cast<size_t>(num_attrs));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int a = 0; a < num_attrs; ++a) {
+      g[static_cast<size_t>(a)] = schema.attribute(a).MapFromFinest(
+          table.row(r)[a], keygen[static_cast<size_t>(a)].level);
+    }
+    ForEachBlock(keygen, g, &key, [&](const int64_t* k) {
+      replicas[static_cast<size_t>(r)].emplace_back(k, k + num_attrs);
+    });
+  }
+
+  for (int i = 0; i < wf.num_measures(); ++i) {
+    const Measure& m = wf.measure(i);
+    for (const auto& [coords, records] :
+         coverage.per_measure[static_cast<size_t>(i)]) {
+      // The owner block of this region.
+      Coords owner(static_cast<size_t>(num_attrs));
+      for (int a = 0; a < num_attrs; ++a) {
+        int64_t up = schema.attribute(a).MapUp(
+            coords[static_cast<size_t>(a)], m.granularity.level(a),
+            keygen[static_cast<size_t>(a)].level);
+        owner[static_cast<size_t>(a)] =
+            FloorDiv(up, keygen[static_cast<size_t>(a)].cf);
+      }
+      for (int64_t record : records) {
+        const std::vector<Coords>& blocks =
+            replicas[static_cast<size_t>(record)];
+        bool found = false;
+        for (const Coords& b : blocks) {
+          if (b == owner) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found) << "measure " << m.name << " region misses record "
+                           << record;
+      }
+    }
+  }
+}
+
+TEST(CoverageTest, BruteForceContainmentWindowQuery) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema, -3, 1);
+  Table table = GenerateUniformTable(schema, 400, 13);
+  DistributionKey key = DeriveDistributionKeys(wf).query_key;
+  for (int64_t cf : {1, 2, 5}) {
+    ExecutionPlan plan;
+    plan.key = key;
+    plan.clustering_factor = cf;
+    CheckCoverageContainment(wf, table, plan);
+  }
+}
+
+TEST(CoverageTest, BruteForceContainmentWeblog) {
+  Workflow wf = MakeWeblogWorkflow();
+  Table table = WeblogTable(400, 29);
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  plan.clustering_factor = 3;
+  CheckCoverageContainment(wf, table, plan);
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,119 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for CSV ingest and export: header matching, value validation,
+// error positions, round-trips, and result export formatting.
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "local/reference_evaluator.h"
+#include "queries/paper_data.h"
+
+namespace casm {
+namespace {
+
+SchemaPtr SmallSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 16, {4}, {"value", "bucket"}).value(),
+       Hierarchy::Numeric("T", 48, {6}, {"tick", "span"}).value()});
+}
+
+TEST(CsvTest, ReadsHeaderedRows) {
+  Result<Table> table = ReadTableCsv(SmallSchema(), R"(X,T
+3,10
+7, 42
+0,0
+)");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->num_rows(), 3);
+  EXPECT_EQ(table->row(1)[0], 7);
+  EXPECT_EQ(table->row(1)[1], 42);
+}
+
+TEST(CsvTest, ColumnsMayBeReorderedWithExtras) {
+  Result<Table> table = ReadTableCsv(SmallSchema(), R"(note,T,X
+hello,10,3
+world,20,4
+)");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->row(0)[0], 3);
+  EXPECT_EQ(table->row(0)[1], 10);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  Result<Table> table = ReadTableCsv(SmallSchema(), "X,T\n1,2\n\n3,4\n\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2);
+}
+
+TEST(CsvTest, ReportsErrorsWithLineNumbers) {
+  Result<Table> missing = ReadTableCsv(SmallSchema(), "X\n1\n");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("missing attribute 'T'"),
+            std::string::npos);
+
+  Result<Table> bad_int = ReadTableCsv(SmallSchema(), "X,T\n1,2\nfoo,3\n");
+  EXPECT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().message().find("line 3"), std::string::npos);
+
+  Result<Table> out_of_domain =
+      ReadTableCsv(SmallSchema(), "X,T\n99,2\n");
+  EXPECT_FALSE(out_of_domain.ok());
+  EXPECT_EQ(out_of_domain.status().code(), StatusCode::kOutOfRange);
+
+  Result<Table> short_row = ReadTableCsv(SmallSchema(), "X,T\n1\n");
+  EXPECT_FALSE(short_row.ok());
+
+  EXPECT_FALSE(ReadTableCsv(SmallSchema(), "").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/casm_csv_test.csv";
+  {
+    std::string csv = "X,T\n5,11\n6,12\n";
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fwrite(csv.data(), 1, csv.size(), f);
+    fclose(f);
+  }
+  Result<Table> table = ReadTableCsvFile(SmallSchema(), path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2);
+  remove(path.c_str());
+  EXPECT_FALSE(ReadTableCsvFile(SmallSchema(), path).ok());
+}
+
+TEST(CsvTest, WriteMeasureCsvFormatsSortedResults) {
+  SchemaPtr schema = SmallSchema();
+  WorkflowBuilder b(schema);
+  Granularity g =
+      Granularity::Of(*schema, {{"X", "bucket"}, {"T", "span"}}).value();
+  b.AddBasic("m", g, AggregateFn::kCount, "X");
+  Workflow wf = std::move(b).Build().value();
+
+  Table table(schema);
+  table.AppendRow({0, 0});
+  table.AppendRow({1, 0});
+  table.AppendRow({9, 40});
+  MeasureResultSet results = EvaluateReference(wf, table);
+
+  std::string csv = WriteMeasureCsv(wf, results, 0);
+  EXPECT_EQ(csv,
+            "X:bucket,T:span,value\n"
+            "0,0,2\n"
+            "2,6,1\n");
+}
+
+TEST(CsvTest, WriteMeasureCsvTopGranularity) {
+  SchemaPtr schema = SmallSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("total", Granularity::Top(*schema), AggregateFn::kCount, "X");
+  Workflow wf = std::move(b).Build().value();
+  Table table(schema);
+  table.AppendRow({0, 0});
+  MeasureResultSet results = EvaluateReference(wf, table);
+  EXPECT_EQ(WriteMeasureCsv(wf, results, 0), "value\n1\n");
+}
+
+}  // namespace
+}  // namespace casm

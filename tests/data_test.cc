@@ -1,0 +1,139 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for src/data: table storage and the synthetic generators.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/table.h"
+#include "queries/paper_data.h"
+
+namespace casm {
+namespace {
+
+SchemaPtr SmallSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 16, {4}, {"value", "bucket"}).value(),
+       Hierarchy::Numeric("Y", 100, {10}, {"value", "decade"}).value()});
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(SmallSchema());
+  EXPECT_EQ(table.num_rows(), 0);
+  table.AppendRow({3, 42});
+  table.AppendRow({7, 99});
+  ASSERT_EQ(table.num_rows(), 2);
+  EXPECT_EQ(table.row(0)[0], 3);
+  EXPECT_EQ(table.row(0)[1], 42);
+  EXPECT_EQ(table.row(1)[1], 99);
+  EXPECT_EQ(table.row_width(), 2);
+}
+
+TEST(TableTest, AppendUninitializedExtends) {
+  Table table(SmallSchema());
+  int64_t* rows = table.AppendUninitialized(3);
+  for (int i = 0; i < 6; ++i) rows[i] = i;
+  EXPECT_EQ(table.num_rows(), 3);
+  EXPECT_EQ(table.row(2)[1], 5);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  SchemaPtr schema = SmallSchema();
+  Table a = GenerateUniformTable(schema, 1000, 7);
+  Table b = GenerateUniformTable(schema, 1000, 7);
+  Table c = GenerateUniformTable(schema, 1000, 8);
+  ASSERT_EQ(a.num_rows(), 1000);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(GeneratorTest, ValuesStayInDomain) {
+  SchemaPtr schema = SmallSchema();
+  Table t = GenerateUniformTable(schema, 5000, 3);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.row(r)[0], 0);
+    EXPECT_LT(t.row(r)[0], 16);
+    EXPECT_GE(t.row(r)[1], 0);
+    EXPECT_LT(t.row(r)[1], 100);
+  }
+}
+
+TEST(GeneratorTest, UniformRangeRestrictsValues) {
+  SchemaPtr schema = SmallSchema();
+  Result<Table> t = GenerateTable(
+      schema, 2000,
+      {AttributeDistribution::UniformRange(4, 7),
+       AttributeDistribution::Uniform()},
+      11);
+  ASSERT_TRUE(t.ok());
+  for (int64_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_GE(t->row(r)[0], 4);
+    EXPECT_LE(t->row(r)[0], 7);
+  }
+}
+
+TEST(GeneratorTest, RejectsBadRange) {
+  SchemaPtr schema = SmallSchema();
+  EXPECT_FALSE(GenerateTable(schema, 10,
+                             {AttributeDistribution::UniformRange(4, 99),
+                              AttributeDistribution::Uniform()},
+                             1)
+                   .ok());
+  EXPECT_FALSE(GenerateTable(schema, 10,
+                             {AttributeDistribution::Uniform()}, 1)
+                   .ok());
+}
+
+TEST(GeneratorTest, ZipfIsHeavyTailed) {
+  SchemaPtr schema = SmallSchema();
+  Result<Table> t = GenerateTable(
+      schema, 20000,
+      {AttributeDistribution::Uniform(), AttributeDistribution::Zipf(1.2)},
+      5);
+  ASSERT_TRUE(t.ok());
+  std::map<int64_t, int64_t> counts;
+  for (int64_t r = 0; r < t->num_rows(); ++r) ++counts[t->row(r)[1]];
+  // Value 0 must dominate value 50 by a wide margin under Zipf(1.2).
+  EXPECT_GT(counts[0], 10 * std::max<int64_t>(1, counts[50]));
+}
+
+TEST(GeneratorTest, ZipfRejectsBadExponent) {
+  SchemaPtr schema = SmallSchema();
+  EXPECT_FALSE(GenerateTable(schema, 10,
+                             {AttributeDistribution::Zipf(-1),
+                              AttributeDistribution::Uniform()},
+                             1)
+                   .ok());
+}
+
+TEST(PaperDataTest, SchemaShape) {
+  SchemaPtr schema = PaperSchema();
+  EXPECT_EQ(schema->num_attributes(), 6);
+  EXPECT_EQ(schema->attribute(0).cardinality(), 256);
+  EXPECT_EQ(schema->attribute(4).cardinality(), 20 * 86400);
+  EXPECT_EQ(schema->attribute(0).num_levels(), 5);
+  EXPECT_EQ(schema->attribute(4).LevelByName("day").value(), 3);
+}
+
+TEST(PaperDataTest, SkewedTableConcentratesTime) {
+  Table t = PaperSkewedTable(3000, 17);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_LT(t.row(r)[4], 5 * 86400);
+    EXPECT_LT(t.row(r)[5], 5 * 86400);
+  }
+}
+
+TEST(PaperDataTest, WeblogSchemaMatchesTableI) {
+  SchemaPtr schema = WeblogSchema();
+  EXPECT_EQ(schema->num_attributes(), 4);
+  EXPECT_EQ(schema->attribute(0).kind(), AttributeKind::kNominal);
+  EXPECT_EQ(schema->attribute(0).LevelValueCount(1), 50);  // groups
+  Table t = WeblogTable(1000, 3);
+  EXPECT_EQ(t.num_rows(), 1000);
+}
+
+}  // namespace
+}  // namespace casm

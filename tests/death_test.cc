@@ -1,0 +1,44 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Death tests: programming errors (API contract violations) must abort
+// with a CASM_CHECK diagnostic rather than corrupt state silently.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "cube/hierarchy.h"
+#include "measure/aggregate.h"
+
+namespace casm {
+namespace {
+
+TEST(DeathTest, ResultValueOnErrorAborts) {
+  Result<int> error = Status::InvalidArgument("nope");
+  EXPECT_DEATH(error.value(), "CASM_CHECK failed");
+}
+
+TEST(DeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>{Status::OK()}, "CASM_CHECK failed");
+}
+
+TEST(DeathTest, UnitOnIrregularHierarchyAborts) {
+  Hierarchy h =
+      Hierarchy::NumericIrregular("X", 10, {{0, 3, 7}}, {"v", "chunk"})
+          .value();
+  EXPECT_DEATH(h.unit(1), "uniform");
+}
+
+TEST(DeathTest, HolisticPartialStateAborts) {
+  Accumulator acc(AggregateFn::kMedian);
+  acc.Add(1.0);
+  double partial[Accumulator::kPartialSize];
+  EXPECT_DEATH(acc.ToPartial(partial), "holistic");
+}
+
+TEST(DeathTest, EmptyMinAborts) {
+  Accumulator acc(AggregateFn::kMin);
+  EXPECT_DEATH(acc.Result(), "CASM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,97 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for distribution keys and execution plans: construction,
+// annotations, block counting, rendering.
+
+#include <gtest/gtest.h>
+
+#include "core/distribution_key.h"
+#include "core/plan.h"
+#include "queries/paper_data.h"
+
+namespace casm {
+namespace {
+
+SchemaPtr TestSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 64, {4}, {"value", "bucket"}).value(),
+       Hierarchy::Numeric("T", 240, {10}, {"tick", "block"}).value()});
+}
+
+TEST(DistributionKeyTest, AtGranularityHasNoAnnotations) {
+  SchemaPtr schema = TestSchema();
+  Granularity g =
+      Granularity::Of(*schema, {{"X", "bucket"}, {"T", "tick"}}).value();
+  DistributionKey key = DistributionKey::AtGranularity(g);
+  EXPECT_FALSE(key.HasAnnotations());
+  EXPECT_TRUE(key.AnnotatedAttributes().empty());
+  EXPECT_EQ(key.granularity(*schema), g);
+  EXPECT_EQ(key.NumBaseBlocks(*schema), 16 * 240);
+}
+
+TEST(DistributionKeyTest, OfParsesAnnotations) {
+  SchemaPtr schema = TestSchema();
+  DistributionKey key =
+      DistributionKey::Of(*schema, {{"X", "bucket", 0, 0},
+                                    {"T", "block", -2, 1}})
+          .value();
+  EXPECT_TRUE(key.HasAnnotations());
+  EXPECT_EQ(key.AnnotatedAttributes(), (std::vector<int>{1}));
+  EXPECT_EQ(key.component(1).lo, -2);
+  EXPECT_EQ(key.component(1).hi, 1);
+  EXPECT_EQ(key.component(1).width(), 3);
+  EXPECT_EQ(key.ToString(*schema), "<X:bucket, T:block(-2,1)>");
+}
+
+TEST(DistributionKeyTest, OfRejectsBadAnnotations) {
+  SchemaPtr schema = TestSchema();
+  EXPECT_FALSE(DistributionKey::Of(*schema, {{"T", "block", 1, 2}}).ok());
+  EXPECT_FALSE(DistributionKey::Of(*schema, {{"T", "block", -1, -1}}).ok());
+  EXPECT_FALSE(DistributionKey::Of(*schema, {{"T", "lightyear", 0, 0}}).ok());
+  EXPECT_FALSE(DistributionKey::Of(*schema, {{"Q", "tick", 0, 0}}).ok());
+}
+
+TEST(DistributionKeyTest, OfRejectsAnnotationOnNominal) {
+  SchemaPtr schema = MakeSchemaOrDie(
+      {Hierarchy::Nominal("K", 4, {{0, 0, 1, 1}}, {"word", "group"}).value()});
+  EXPECT_FALSE(DistributionKey::Of(*schema, {{"K", "word", 0, 1}}).ok());
+  EXPECT_TRUE(DistributionKey::Of(*schema, {{"K", "word", 0, 0}}).ok());
+}
+
+TEST(DistributionKeyTest, UnmentionedAttributesSitAtAll) {
+  SchemaPtr schema = TestSchema();
+  DistributionKey key =
+      DistributionKey::Of(*schema, {{"X", "value", 0, 0}}).value();
+  EXPECT_TRUE(schema->attribute(1).is_all(key.component(1).level));
+  EXPECT_EQ(key.NumBaseBlocks(*schema), 64);
+}
+
+TEST(ExecutionPlanTest, NumBlocksAppliesClusteringToAnnotatedAttrs) {
+  SchemaPtr schema = TestSchema();
+  ExecutionPlan plan;
+  plan.key = DistributionKey::Of(*schema, {{"X", "bucket", 0, 0},
+                                           {"T", "block", 0, 2}})
+                 .value();
+  plan.clustering_factor = 4;
+  // X: 16 buckets; T: ceil(24 / 4) = 6 super-blocks.
+  EXPECT_EQ(plan.NumBlocks(*schema), 16 * 6);
+  EXPECT_EQ(plan.AnnotationWidth(), 2);
+
+  plan.clustering_factor = 1;
+  EXPECT_EQ(plan.NumBlocks(*schema), 16 * 24);
+}
+
+TEST(ExecutionPlanTest, ToStringIncludesParameters) {
+  SchemaPtr schema = TestSchema();
+  ExecutionPlan plan;
+  plan.key = DistributionKey::Of(*schema, {{"T", "block", 0, 1}}).value();
+  plan.clustering_factor = 5;
+  plan.early_aggregation = true;
+  std::string s = plan.ToString(*schema);
+  EXPECT_NE(s.find("cf=5"), std::string::npos);
+  EXPECT_NE(s.find("early_agg"), std::string::npos);
+  EXPECT_NE(s.find("T:block(0,1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,70 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the explanation/introspection surfaces: optimizer plan
+// explanations and Graphviz DOT workflow rendering.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+TEST(ExplainTest, ExplainsCandidatesBestFirst) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  OptimizerOptions opts;
+  opts.num_reducers = 50;
+  opts.num_records = 1000000;
+  Result<std::string> text = ExplainPlans(wf, opts);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("minimal feasible key: <D1:tier1, T1:hour(-24,0)>"),
+            std::string::npos)
+      << text.value();
+  EXPECT_NE(text->find("candidates (best first):"), std::string::npos);
+  EXPECT_NE(text->find("  * plan{"), std::string::npos);
+  EXPECT_NE(text->find("reducers: 50"), std::string::npos);
+}
+
+TEST(ExplainTest, MentionsSkewHeuristicWhenActive) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ5);
+  OptimizerOptions opts;
+  opts.num_reducers = 10;
+  opts.num_records = 100000;
+  opts.min_blocks_per_reducer = 4;
+  opts.estimated_block_occupancy = 0.25;
+  Result<std::string> text = ExplainPlans(wf, opts);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("min blocks/reducer: 4"), std::string::npos);
+  EXPECT_NE(text->find("occupancy estimate 0.25"), std::string::npos);
+}
+
+TEST(ExplainTest, PropagatesOptimizerErrors) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ1);
+  OptimizerOptions opts;  // num_records unset
+  EXPECT_FALSE(ExplainPlans(wf, opts).ok());
+}
+
+TEST(DotTest, RendersNodesAndLabeledEdges) {
+  Workflow wf = MakeWeblogWorkflow();
+  std::string dot = wf.ToDot();
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  // One node per measure.
+  for (const char* name : {"M1", "M2", "M3", "M4"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+  // The four relationship kinds appearing in the weblog query.
+  EXPECT_NE(dot.find("[label=\"self\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"parent/child\"]"), std::string::npos);
+  EXPECT_NE(dot.find("sibling Time(-9,0)"), std::string::npos);
+  // Edges point source -> target.
+  EXPECT_NE(dot.find("m2 -> m3"), std::string::npos);
+  // Balanced braces: it should at least be loadable by graphviz.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,181 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the external merge sort and its engine integration: spilled
+// sorts must be byte-identical to in-memory sorts, stable end-to-end query
+// results must survive arbitrarily small memory budgets, and spill
+// activity must be reported.
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/key_derivation.h"
+#include "core/parallel_evaluator.h"
+#include "local/reference_evaluator.h"
+#include "mr/engine.h"
+#include "mr/external_sort.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+std::vector<int64_t> RandomRecords(int64_t count, int width, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> records(static_cast<size_t>(count * width));
+  for (int64_t& v : records) {
+    v = static_cast<int64_t>(rng.Uniform(1000));
+  }
+  return records;
+}
+
+RecordLess LexLess(int width) {
+  return [width](const int64_t* a, const int64_t* b) {
+    for (int i = 0; i < width; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
+  };
+}
+
+TEST(ExternalSortTest, InMemoryWhenUnderLimit) {
+  std::vector<int64_t> records = RandomRecords(100, 3, 1);
+  ExternalSortStats stats;
+  Result<std::vector<int64_t>> sorted =
+      ExternalSort(records, 3, LexLess(3), {}, &stats);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(stats.runs_spilled, 0);
+  for (int64_t i = 1; i < 100; ++i) {
+    EXPECT_FALSE(LexLess(3)(sorted->data() + i * 3, sorted->data() + (i - 1) * 3));
+  }
+}
+
+class ExternalSortLimits : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ExternalSortLimits, SpilledSortEqualsInMemorySort) {
+  const int width = 2;
+  std::vector<int64_t> records = RandomRecords(997, width, 7);
+  Result<std::vector<int64_t>> expected =
+      ExternalSort(records, width, LexLess(width), {}, nullptr);
+  ASSERT_TRUE(expected.ok());
+
+  ExternalSortOptions options;
+  options.memory_limit_records = GetParam();
+  ExternalSortStats stats;
+  Result<std::vector<int64_t>> spilled =
+      ExternalSort(records, width, LexLess(width), options, &stats);
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(spilled.value(), expected.value()) << "limit=" << GetParam();
+  EXPECT_GT(stats.runs_spilled, 1);
+  EXPECT_EQ(stats.records_spilled, 997);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, ExternalSortLimits,
+                         ::testing::Values<int64_t>(1, 7, 100, 996));
+
+TEST(ExternalSortTest, EmptyInput) {
+  ExternalSortOptions options;
+  options.memory_limit_records = 4;
+  Result<std::vector<int64_t>> sorted =
+      ExternalSort({}, 2, LexLess(2), options, nullptr);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted->empty());
+}
+
+TEST(ExternalSortTest, PreservesDuplicates) {
+  std::vector<int64_t> records = {5, 1, 5, 2, 5, 3, 1, 9};  // width 2
+  ExternalSortOptions options;
+  options.memory_limit_records = 2;
+  Result<std::vector<int64_t>> sorted =
+      ExternalSort(records, 2, LexLess(2), options, nullptr);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted.value(),
+            (std::vector<int64_t>{1, 9, 5, 1, 5, 2, 5, 3}));
+}
+
+TEST(ExternalSortTest, EngineSpillsAndStaysCorrect) {
+  MapReduceEngine engine(2);
+  MapReduceSpec spec;
+  spec.num_mappers = 3;
+  spec.num_reducers = 2;
+  spec.key_width = 1;
+  spec.value_width = 1;
+  spec.reducer_memory_limit_pairs = 50;  // force spills (500 pairs total)
+  spec.map_fn = [](int64_t begin, int64_t end, Emitter* emitter) {
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t key = i % 13;
+      int64_t value = 1;
+      emitter->Emit(&key, &value);
+    }
+  };
+  std::mutex mu;
+  std::map<int64_t, int64_t> sums;
+  spec.reduce_fn = [&](int reducer, const GroupView& group) {
+    int64_t total = 0;
+    for (int64_t i = 0; i < group.size(); ++i) total += group.value(i)[0];
+    std::unique_lock<std::mutex> lock(mu);
+    sums[group.key()[0]] += total;
+  };
+  Result<MapReduceMetrics> metrics = engine.Run(spec, 650);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics->spilled_runs, 0);
+  ASSERT_EQ(sums.size(), 13u);
+  for (const auto& [key, total] : sums) EXPECT_EQ(total, 50) << key;
+}
+
+TEST(ExternalSortTest, ParallelQueryExactUnderTinySortBudget) {
+  // The whole pipeline must stay exact when every reducer spills.
+  Workflow wf = MakePaperQuery(PaperQuery::kQ5);
+  Table table = PaperUniformTable(2000, 33);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  plan.clustering_factor = 8;
+  ParallelEvalOptions opts;
+  opts.num_mappers = 2;
+  opts.num_reducers = 3;
+  opts.num_threads = 2;
+  opts.reducer_memory_limit_pairs = 64;
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->metrics.spilled_runs, 0);
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+
+TEST(ExternalSortTest, UnwritableSpillDirectoryFailsCleanly) {
+  std::vector<int64_t> records = RandomRecords(100, 2, 3);
+  ExternalSortOptions options;
+  options.memory_limit_records = 10;
+  options.temp_dir = "/nonexistent/casm/spill";
+  Result<std::vector<int64_t>> sorted =
+      ExternalSort(records, 2, LexLess(2), options, nullptr);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExternalSortTest, EngineSurfacesSpillFailures) {
+  MapReduceEngine engine(1);
+  MapReduceSpec spec;
+  spec.num_mappers = 1;
+  spec.num_reducers = 1;
+  spec.key_width = 1;
+  spec.value_width = 1;
+  spec.reducer_memory_limit_pairs = 5;
+  spec.spill_dir = "/nonexistent/casm/spill";
+  spec.map_fn = [](int64_t begin, int64_t end, Emitter* emitter) {
+    for (int64_t i = begin; i < end; ++i) emitter->Emit(&i, &i);
+  };
+  spec.reduce_fn = [](int, const GroupView&) { FAIL() << "reduce ran"; };
+  Result<MapReduceMetrics> metrics = engine.Run(spec, 100);
+  EXPECT_FALSE(metrics.ok());
+}
+
+}  // namespace
+}  // namespace casm

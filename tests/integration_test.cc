@@ -1,0 +1,177 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// End-to-end integration: every paper query (Q1-Q6, DS0-DS2) and the
+// weblog workflow evaluated through the full parallel pipeline
+// (optimizer-chosen plan, MapReduce engine, per-block sort/scan, ownership
+// filter) must reproduce the reference evaluator's results exactly, on
+// uniform and skewed data, across plan variants.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/parallel_evaluator.h"
+#include "core/skew.h"
+#include "local/reference_evaluator.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+constexpr int64_t kRows = 2500;
+
+ParallelEvalOptions EvalOpts() {
+  ParallelEvalOptions o;
+  o.num_mappers = 3;
+  o.num_reducers = 5;
+  o.num_threads = 2;
+  return o;
+}
+
+class PaperQueryIntegration : public ::testing::TestWithParam<PaperQuery> {};
+
+TEST_P(PaperQueryIntegration, OptimizedPlanMatchesReferenceUniform) {
+  Workflow wf = MakePaperQuery(GetParam());
+  Table table = PaperUniformTable(kRows, 1234);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  OptimizerOptions opts;
+  opts.num_reducers = 5;
+  opts.num_records = table.num_rows();
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan.value(), EvalOpts());
+  ASSERT_TRUE(result.ok()) << result.status();
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST_P(PaperQueryIntegration, OptimizedPlanMatchesReferenceSkewed) {
+  Workflow wf = MakePaperQuery(GetParam());
+  Table table = PaperSkewedTable(kRows, 987);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  OptimizerOptions opts;
+  opts.num_reducers = 5;
+  opts.num_records = table.num_rows();
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan.value(), EvalOpts());
+  ASSERT_TRUE(result.ok()) << result.status();
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST_P(PaperQueryIntegration, EveryCandidatePlanMatchesReference) {
+  Workflow wf = MakePaperQuery(GetParam());
+  Table table = PaperUniformTable(kRows, 555);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  OptimizerOptions opts;
+  opts.num_reducers = 4;
+  opts.num_records = table.num_rows();
+  Result<std::vector<ExecutionPlan>> plans = CandidatePlans(wf, opts);
+  ASSERT_TRUE(plans.ok());
+  for (const ExecutionPlan& plan : plans.value()) {
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, plan, EvalOpts());
+    ASSERT_TRUE(result.ok())
+        << plan.ToString(*wf.schema()) << ": " << result.status();
+    Status match = CompareResultSets(expected, result->results, 1e-9);
+    EXPECT_TRUE(match.ok())
+        << plan.ToString(*wf.schema()) << ": " << match.ToString();
+  }
+}
+
+TEST_P(PaperQueryIntegration, CombinedSortMatchesReference) {
+  Workflow wf = MakePaperQuery(GetParam());
+  Table table = PaperUniformTable(kRows, 42);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  OptimizerOptions opts;
+  opts.num_reducers = 4;
+  opts.num_records = table.num_rows();
+  opts.combined_sort = true;
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_TRUE(plan.ok());
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan.value(), EvalOpts());
+  ASSERT_TRUE(result.ok()) << result.status();
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, PaperQueryIntegration,
+                         ::testing::ValuesIn(AllPaperQueries()),
+                         [](const ::testing::TestParamInfo<PaperQuery>& info) {
+                           return PaperQueryName(info.param);
+                         });
+
+TEST(IntegrationTest, EarlyAggregationOnDsQueries) {
+  // DS0-DS2 have distributive/algebraic basics by construction.
+  for (PaperQuery q :
+       {PaperQuery::kDS0, PaperQuery::kDS1, PaperQuery::kDS2}) {
+    Workflow wf = MakePaperQuery(q);
+    Table table = PaperUniformTable(kRows, 321);
+    MeasureResultSet expected = EvaluateReference(wf, table);
+    OptimizerOptions opts;
+    opts.num_reducers = 4;
+    opts.num_records = table.num_rows();
+    opts.early_aggregation = true;
+    Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+    ASSERT_TRUE(plan.ok());
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, plan.value(), EvalOpts());
+    ASSERT_TRUE(result.ok()) << PaperQueryName(q) << ": " << result.status();
+    Status match = CompareResultSets(expected, result->results, 1e-9);
+    EXPECT_TRUE(match.ok()) << PaperQueryName(q) << ": " << match.ToString();
+  }
+}
+
+TEST(IntegrationTest, WeblogWorkflowEndToEnd) {
+  Workflow wf = MakeWeblogWorkflow();
+  Table table = WeblogTable(4000, 2026);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  OptimizerOptions opts;
+  opts.num_reducers = 6;
+  opts.num_records = table.num_rows();
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_TRUE(plan.ok());
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan.value(), EvalOpts());
+  ASSERT_TRUE(result.ok());
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+  // M4 must exist and the workflow reports all four measures.
+  EXPECT_EQ(result->results.num_measures(), 4);
+  EXPECT_GT(result->results.values(3).size(), 0u);
+}
+
+TEST(IntegrationTest, SamplingChosenPlanIsExactOnSkewedData) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  Table table = PaperSkewedTable(kRows, 777);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+
+  OptimizerOptions opts;
+  opts.num_reducers = 5;
+  opts.num_records = table.num_rows();
+  Result<std::vector<ExecutionPlan>> candidates = CandidatePlans(wf, opts);
+  ASSERT_TRUE(candidates.ok());
+  SamplingOptions sampling;
+  sampling.sample_fraction = 0.5;
+  Result<ExecutionPlan> plan = ChoosePlanBySampling(
+      wf, table, candidates.value(), opts.num_reducers, sampling);
+  ASSERT_TRUE(plan.ok());
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan.value(), EvalOpts());
+  ASSERT_TRUE(result.ok());
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,206 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for opConvert / opCombine and the key-derivation sweep, including
+// the paper's worked examples: Theorem 2 (LCA for sibling-free queries),
+// the weblog query's <Keyword:word, Time:hour(-1,0)>-shaped key, and the
+// day->month offset conversion example.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "core/key_derivation.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+TEST(ConvertOffsetsTest, IdentityAtSameLevel) {
+  int64_t lo = -3, hi = 5;
+  ConvertOffsets(10, 10, &lo, &hi);
+  EXPECT_EQ(lo, -3);
+  EXPECT_EQ(hi, 5);
+}
+
+TEST(ConvertOffsetsTest, PaperDayToMonthExample) {
+  // With fixed 30-day months, a day(-10, +60) window needs month(-1, +2):
+  // 10 days back never cross more than one month boundary; 60 days forward
+  // cross at most two (worst alignment: starting at day 29 of a month).
+  int64_t lo = -10, hi = 60;
+  ConvertOffsets(1, 30, &lo, &hi);
+  EXPECT_EQ(lo, -1);
+  EXPECT_EQ(hi, 2);
+}
+
+TEST(ConvertOffsetsTest, MinuteWindowToHour) {
+  // A ten-minute forward window at minute granularity reaches at most one
+  // hour ahead.
+  int64_t lo = 0, hi = 10;
+  ConvertOffsets(60, 3600, &lo, &hi);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 1);
+}
+
+TEST(ConvertOffsetsTest, ZeroStaysZero) {
+  // An unannotated component must stay unannotated under generalization
+  // (nesting: the containing coarse region suffices).
+  int64_t lo = 0, hi = 0;
+  ConvertOffsets(60, 86400, &lo, &hi);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 0);
+}
+
+TEST(ConvertOffsetsTest, NegativeWindows) {
+  // Trailing 120 minutes at minute level: at most 2 hours back.
+  int64_t lo = -120, hi = 0;
+  ConvertOffsets(60, 3600, &lo, &hi);
+  EXPECT_EQ(lo, -2);
+  EXPECT_EQ(hi, 0);
+}
+
+SchemaPtr WSchema() { return WeblogSchema(); }
+
+TEST(KeyDerivationTest, Theorem2LcaForSiblingFreeQueries) {
+  // Q1..Q4 have no sibling edges: the derived key must be exactly the LCA
+  // of the measure granularities, with no annotations.
+  for (PaperQuery q : {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3,
+                       PaperQuery::kQ4}) {
+    Workflow wf = MakePaperQuery(q);
+    KeyDerivation derivation = DeriveDistributionKeys(wf);
+    EXPECT_FALSE(derivation.query_key.HasAnnotations()) << PaperQueryName(q);
+
+    Granularity lca = wf.measure(0).granularity;
+    for (const Measure& m : wf.measures()) {
+      lca = Granularity::Lca(lca, m.granularity);
+    }
+    EXPECT_EQ(derivation.query_key.granularity(*wf.schema()), lca)
+        << PaperQueryName(q);
+  }
+}
+
+TEST(KeyDerivationTest, WeblogQueryGetsOverlappingHourKey) {
+  // The intro example: M1-M3 need <Keyword:word, Time:hour>; M4's trailing
+  // ten-minute window forces one hour of history -> Time:hour(-1,0).
+  Workflow wf = MakeWeblogWorkflow();
+  KeyDerivation derivation = DeriveDistributionKeys(wf);
+  const Schema& schema = *wf.schema();
+  EXPECT_EQ(derivation.query_key.ToString(schema),
+            "<Keyword:word, Time:hour(-1,0)>");
+
+  // Per-measure keys from the paper's derivation order.
+  EXPECT_EQ(derivation.per_measure[0].ToString(schema),
+            "<Keyword:word, Time:minute>");
+  EXPECT_EQ(derivation.per_measure[1].ToString(schema),
+            "<Keyword:word, Time:hour>");
+  EXPECT_EQ(derivation.per_measure[2].ToString(schema),
+            "<Keyword:word, Time:hour>");
+  EXPECT_EQ(derivation.per_measure[3].ToString(schema),
+            "<Keyword:word, Time:hour(-1,0)>");
+}
+
+TEST(KeyDerivationTest, Q6CombinesAllRelationships) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  KeyDerivation derivation = DeriveDistributionKeys(wf);
+  EXPECT_EQ(derivation.query_key.ToString(*wf.schema()),
+            "<D1:tier1, T1:hour(-24,0)>");
+}
+
+TEST(KeyDerivationTest, Q5TrailingWindowAnnotatesOnlyThePast) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ5);
+  KeyDerivation derivation = DeriveDistributionKeys(wf);
+  // Sibling range (-10, -1) at hour granularity, key at hour level:
+  // annotation (-10, 0) (the block always contains its own region).
+  EXPECT_EQ(derivation.query_key.ToString(*wf.schema()),
+            "<D1:value, T1:hour(-10,0)>");
+}
+
+TEST(KeyDerivationTest, DerivedKeysAreFeasible) {
+  for (PaperQuery q : AllPaperQueries()) {
+    Workflow wf = MakePaperQuery(q);
+    KeyDerivation derivation = DeriveDistributionKeys(wf);
+    EXPECT_TRUE(IsFeasible(wf, derivation.query_key)) << PaperQueryName(q);
+    for (int i = 0; i < wf.num_measures(); ++i) {
+      // The per-measure key must be feasible for the sub-workflow ending
+      // at measure i; feasibility for the whole workflow is not required.
+      // Sanity: level order holds against the measure itself.
+      const DistributionKey& key = derivation.per_measure[static_cast<size_t>(i)];
+      for (int a = 0; a < wf.schema()->num_attributes(); ++a) {
+        EXPECT_GE(key.component(a).level, wf.measure(i).granularity.level(a));
+      }
+    }
+  }
+  Workflow weblog = MakeWeblogWorkflow();
+  EXPECT_TRUE(IsFeasible(weblog, DeriveDistributionKeys(weblog).query_key));
+}
+
+TEST(KeyDerivationTest, MinimalityOfDerivedAnnotation) {
+  // Shrinking the weblog key's annotation or specializing its levels must
+  // break feasibility.
+  Workflow wf = MakeWeblogWorkflow();
+  const Schema& schema = *wf.schema();
+  DistributionKey key = DeriveDistributionKeys(wf).query_key;
+  ASSERT_TRUE(IsFeasible(wf, key));
+
+  DistributionKey no_annotation = key;
+  no_annotation.mutable_component(3).lo = 0;
+  EXPECT_FALSE(IsFeasible(wf, no_annotation));
+
+  DistributionKey finer_keyword = key;
+  finer_keyword.mutable_component(0).level = 0;  // already word = level 0
+  DistributionKey finer_time = key;
+  finer_time.mutable_component(3).level = 0;  // hour -> minute
+  EXPECT_FALSE(IsFeasible(wf, finer_time));
+
+  // Generalizing stays feasible (Theorem 1).
+  DistributionKey coarser = key;
+  coarser.mutable_component(0).level = schema.attribute(0).all_level();
+  EXPECT_TRUE(IsFeasible(wf, coarser));
+}
+
+TEST(OpCombineTest, TakesMostGeneralLevelAndUnionsAnnotations) {
+  SchemaPtr schema = WSchema();
+  DistributionKey a =
+      DistributionKey::Of(*schema, {{"Keyword", "word", 0, 0},
+                                    {"Time", "minute", -5, 0}})
+          .value();
+  DistributionKey b =
+      DistributionKey::Of(*schema, {{"Keyword", "group", 0, 0},
+                                    {"Time", "hour", 0, 2}})
+          .value();
+  DistributionKey combined = OpCombine(*schema, {a, b});
+  // Keyword: group (more general). Time: hour; a's (-5,0) minutes map to
+  // (-1,0) hours; union with (0,2) -> (-1,2).
+  EXPECT_EQ(combined.ToString(*schema), "<Keyword:group, Time:hour(-1,2)>");
+}
+
+TEST(OpConvertTest, WidensKeyByConvertedSiblingRange) {
+  SchemaPtr schema = WSchema();
+  DistributionKey key =
+      DistributionKey::Of(*schema, {{"Keyword", "word", 0, 0},
+                                    {"Time", "hour", 0, 0}})
+          .value();
+  SiblingRange range;
+  range.attr = schema->AttributeIndex("Time").value();
+  range.lo = -90;  // ninety minutes back
+  range.hi = 30;   // thirty minutes forward
+  LevelId minute = schema->attribute(range.attr).LevelByName("minute").value();
+  DistributionKey converted = OpConvert(*schema, key, range, minute);
+  EXPECT_EQ(converted.ToString(*schema), "<Keyword:word, Time:hour(-2,1)>");
+}
+
+TEST(OpConvertTest, AllLevelAbsorbsAnyWindow) {
+  SchemaPtr schema = WSchema();
+  DistributionKey key =
+      DistributionKey::Of(*schema, {{"Keyword", "word", 0, 0}}).value();
+  SiblingRange range;
+  range.attr = schema->AttributeIndex("Time").value();
+  range.lo = -1000;
+  range.hi = 1000;
+  DistributionKey converted = OpConvert(
+      *schema, key, range,
+      schema->attribute(range.attr).LevelByName("minute").value());
+  EXPECT_EQ(converted, key);
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,247 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for src/measure: aggregate accumulators, expressions, and
+// workflow construction/validation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "measure/aggregate.h"
+#include "measure/measure.h"
+#include "measure/workflow.h"
+
+namespace casm {
+namespace {
+
+TEST(AggregateTest, Classification) {
+  EXPECT_EQ(ClassOf(AggregateFn::kSum), AggregateClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggregateFn::kCount), AggregateClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggregateFn::kMin), AggregateClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggregateFn::kMax), AggregateClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggregateFn::kAvg), AggregateClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggregateFn::kVariance), AggregateClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggregateFn::kMedian), AggregateClass::kHolistic);
+  EXPECT_EQ(ClassOf(AggregateFn::kDistinctCount), AggregateClass::kHolistic);
+}
+
+TEST(AggregateTest, BasicResults) {
+  struct Case {
+    AggregateFn fn;
+    double expected;
+  };
+  // Inputs: 5, 1, 3, 3.
+  for (Case c : {Case{AggregateFn::kCount, 4},
+                 Case{AggregateFn::kSum, 12},
+                 Case{AggregateFn::kMin, 1},
+                 Case{AggregateFn::kMax, 5},
+                 Case{AggregateFn::kAvg, 3},
+                 Case{AggregateFn::kVariance, 2},
+                 Case{AggregateFn::kMedian, 3},
+                 Case{AggregateFn::kDistinctCount, 3}}) {
+    Accumulator acc(c.fn);
+    for (double v : {5.0, 1.0, 3.0, 3.0}) acc.Add(v);
+    EXPECT_DOUBLE_EQ(acc.Result(), c.expected) << AggregateFnName(c.fn);
+  }
+}
+
+TEST(AggregateTest, LowerMedianForEvenCounts) {
+  Accumulator acc(AggregateFn::kMedian);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Result(), 2.0);  // lower median
+}
+
+TEST(AggregateTest, CountOfEmptyIsZero) {
+  Accumulator acc(AggregateFn::kCount);
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.Result(), 0.0);
+}
+
+TEST(AggregateTest, MergeEqualsBulk) {
+  for (AggregateFn fn :
+       {AggregateFn::kCount, AggregateFn::kSum, AggregateFn::kMin,
+        AggregateFn::kMax, AggregateFn::kAvg, AggregateFn::kVariance,
+        AggregateFn::kMedian, AggregateFn::kDistinctCount}) {
+    Accumulator bulk(fn), left(fn), right(fn);
+    for (double v : {2.0, 8.0, 8.0}) {
+      bulk.Add(v);
+      left.Add(v);
+    }
+    for (double v : {4.0, 6.0}) {
+      bulk.Add(v);
+      right.Add(v);
+    }
+    left.Merge(right);
+    EXPECT_DOUBLE_EQ(left.Result(), bulk.Result()) << AggregateFnName(fn);
+  }
+}
+
+TEST(AggregateTest, PartialRoundTrip) {
+  for (AggregateFn fn : {AggregateFn::kCount, AggregateFn::kSum,
+                         AggregateFn::kMin, AggregateFn::kMax,
+                         AggregateFn::kAvg, AggregateFn::kVariance}) {
+    Accumulator acc(fn);
+    for (double v : {3.0, -1.0, 7.5}) acc.Add(v);
+    double partial[Accumulator::kPartialSize];
+    acc.ToPartial(partial);
+    Accumulator restored = Accumulator::FromPartial(fn, partial);
+    EXPECT_DOUBLE_EQ(restored.Result(), acc.Result()) << AggregateFnName(fn);
+  }
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  Expression e = (Expression::Source(0) + Expression::Constant(2.0)) *
+                 Expression::Source(1) / Expression::Source(0) -
+                 Expression::Constant(1.0);
+  double operands[2] = {4.0, 3.0};
+  // ((4 + 2) * 3) / 4 - 1 = 3.5
+  EXPECT_DOUBLE_EQ(e.Eval(operands), 3.5);
+  EXPECT_EQ(e.MaxSourceIndex(), 1);
+}
+
+TEST(ExpressionTest, DivisionFollowsIeee) {
+  Expression e = Expression::Source(0) / Expression::Source(1);
+  double operands[2] = {1.0, 0.0};
+  EXPECT_TRUE(std::isinf(e.Eval(operands)));
+}
+
+SchemaPtr TestSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 64, {4, 16}, {"value", "four", "sixteen"})
+           .value(),
+       Hierarchy::Numeric("T", 240, {6, 24}, {"tick", "six", "day"}).value()});
+}
+
+Granularity Gran(const SchemaPtr& s, const std::string& xl,
+                 const std::string& tl) {
+  return Granularity::Of(*s, {{"X", xl}, {"T", tl}}).value();
+}
+
+TEST(WorkflowTest, BuildsValidWorkflow) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "value", "tick"), AggregateFn::kSum,
+                      "X");
+  int m2 = b.AddSourceAggregate("m2", Gran(schema, "four", "six"),
+                                AggregateFn::kAvg,
+                                {WorkflowBuilder::ChildParent(m1)});
+  b.AddSourceAggregate("m3", Gran(schema, "four", "six"), AggregateFn::kSum,
+                       {b.Sibling(m2, "T", -2, 0)});
+  Result<Workflow> wf = std::move(b).Build();
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  EXPECT_EQ(wf->num_measures(), 3);
+  EXPECT_TRUE(wf->HasSiblingEdges());
+  EXPECT_EQ(wf->BasicMeasures().size(), 1u);
+  EXPECT_EQ(wf->MeasureIndex("m2").value(), 1);
+  EXPECT_FALSE(wf->MeasureIndex("nope").ok());
+}
+
+TEST(WorkflowTest, RejectsUnknownField) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("m1", Gran(schema, "value", "tick"), AggregateFn::kSum, "Nope");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsDuplicateNames) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("m", Gran(schema, "value", "tick"), AggregateFn::kSum, "X");
+  b.AddBasic("m", Gran(schema, "value", "six"), AggregateFn::kSum, "X");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsSelfEdgeWithDifferentGranularity) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "value", "tick"), AggregateFn::kSum,
+                      "X");
+  b.AddSourceAggregate("m2", Gran(schema, "four", "tick"), AggregateFn::kSum,
+                       {WorkflowBuilder::Self(m1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsChildParentWithFinerTarget) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "four", "six"), AggregateFn::kSum,
+                      "X");
+  b.AddSourceAggregate("m2", Gran(schema, "value", "tick"), AggregateFn::kSum,
+                       {WorkflowBuilder::ChildParent(m1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsSiblingOnAllAttribute) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  Granularity g = Granularity::Of(*schema, {{"X", "value"}}).value();
+  int m1 = b.AddBasic("m1", g, AggregateFn::kSum, "X");
+  b.AddSourceAggregate("m2", g, AggregateFn::kSum, {b.Sibling(m1, "T", 0, 2)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsSiblingOnNominalAttribute) {
+  SchemaPtr schema = MakeSchemaOrDie(
+      {Hierarchy::Nominal("K", 4, {{0, 0, 1, 1}}, {"word", "group"}).value(),
+       Hierarchy::Numeric("T", 240, {6}, {"tick", "six"}).value()});
+  WorkflowBuilder b(schema);
+  Granularity g =
+      Granularity::Of(*schema, {{"K", "word"}, {"T", "tick"}}).value();
+  int m1 = b.AddBasic("m1", g, AggregateFn::kSum, "T");
+  b.AddSourceAggregate("m2", g, AggregateFn::kSum, {b.Sibling(m1, "K", 0, 1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsExpressionWithoutSelfEdge) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "four", "six"), AggregateFn::kSum,
+                      "X");
+  b.AddExpression("m2", Gran(schema, "value", "tick"), Expression::Source(0),
+                  {WorkflowBuilder::ParentChild(m1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsExpressionReferencingMissingEdge) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "value", "tick"), AggregateFn::kSum,
+                      "X");
+  b.AddExpression("m2", Gran(schema, "value", "tick"), Expression::Source(1),
+                  {WorkflowBuilder::Self(m1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsAggregateWithOnlyParentChildEdges) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("m1", Gran(schema, "four", "six"), AggregateFn::kSum,
+                      "X");
+  b.AddSourceAggregate("m2", Gran(schema, "value", "tick"), AggregateFn::kSum,
+                       {WorkflowBuilder::ParentChild(m1)});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, RejectsEmptyWorkflow) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(WorkflowTest, ToStringMentionsEveryMeasure) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("alpha", Gran(schema, "value", "tick"),
+                      AggregateFn::kMedian, "X");
+  b.AddSourceAggregate("beta", Gran(schema, "four", "six"), AggregateFn::kAvg,
+                       {WorkflowBuilder::ChildParent(m1)});
+  Workflow wf = std::move(b).Build().value();
+  std::string s = wf.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("MEDIAN"), std::string::npos);
+  EXPECT_NE(s.find("child/parent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casm

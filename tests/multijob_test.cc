@@ -1,0 +1,125 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the per-component baseline evaluator (§I's naive strategy):
+// it must agree with the reference evaluator on every paper query and on
+// randomized workflows (an independent third implementation of the query
+// semantics), while shuffling strictly more data than the single-
+// redistribution strategy on multi-measure queries.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/key_derivation.h"
+#include "core/multijob_evaluator.h"
+#include "core/optimizer.h"
+#include "core/parallel_evaluator.h"
+#include "data/generator.h"
+#include "local/reference_evaluator.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+ParallelEvalOptions EvalOpts() {
+  ParallelEvalOptions o;
+  o.num_mappers = 3;
+  o.num_reducers = 4;
+  o.num_threads = 2;
+  return o;
+}
+
+class MultiJobPaperQueries : public ::testing::TestWithParam<PaperQuery> {};
+
+TEST_P(MultiJobPaperQueries, MatchesReference) {
+  Workflow wf = MakePaperQuery(GetParam());
+  Table table = PaperUniformTable(2000, 808);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  Result<MultiJobResult> result = EvaluateMultiJob(wf, table, EvalOpts());
+  ASSERT_TRUE(result.ok()) << result.status();
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+  EXPECT_EQ(result->jobs, wf.num_measures());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, MultiJobPaperQueries,
+                         ::testing::ValuesIn(AllPaperQueries()),
+                         [](const ::testing::TestParamInfo<PaperQuery>& info) {
+                           return PaperQueryName(info.param);
+                         });
+
+TEST(MultiJobTest, WeblogMatchesReference) {
+  Workflow wf = MakeWeblogWorkflow();
+  Table table = WeblogTable(2500, 11);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  Result<MultiJobResult> result = EvaluateMultiJob(wf, table, EvalOpts());
+  ASSERT_TRUE(result.ok()) << result.status();
+  Status match = CompareResultSets(expected, result->results, 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST(MultiJobTest, ShufflesMoreThanSingleRedistribution) {
+  // Q3 has two basic measures: the baseline repartitions the raw data
+  // twice plus all intermediates; the composite strategy moves the raw
+  // data once.
+  Workflow wf = MakePaperQuery(PaperQuery::kQ3);
+  Table table = PaperUniformTable(4000, 5);
+
+  Result<MultiJobResult> baseline = EvaluateMultiJob(wf, table, EvalOpts());
+  ASSERT_TRUE(baseline.ok());
+
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  Result<ParallelEvalResult> composite =
+      EvaluateParallel(wf, table, plan, EvalOpts());
+  ASSERT_TRUE(composite.ok());
+
+  EXPECT_GT(baseline->total_metrics.emitted_pairs,
+            composite->metrics.emitted_pairs);
+  // Specifically: the baseline ships the raw table once per basic measure.
+  EXPECT_GE(baseline->total_metrics.emitted_pairs, 2 * table.num_rows());
+}
+
+TEST(MultiJobTest, RandomWorkflowsAgreeWithReference) {
+  SchemaPtr schema = MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 32, {4}, {"x0", "x1"}).value(),
+       Hierarchy::Numeric("T", 64, {4, 16}, {"t0", "t1", "t2"}).value()});
+  for (uint64_t seed = 300; seed < 312; ++seed) {
+    Rng rng(seed);
+    Table table = GenerateUniformTable(schema, 600, seed);
+    // Reuse the integration suite's style of random workflow via the
+    // builder: a basic measure, a window, a rollup and a ratio.
+    WorkflowBuilder b(schema);
+    Granularity g0 =
+        Granularity::Of(*schema, {{"X", "x0"}, {"T", "t0"}}).value();
+    Granularity g1 =
+        Granularity::Of(*schema, {{"X", "x1"}, {"T", "t1"}}).value();
+    int m0 = b.AddBasic("m0", g0, AggregateFn::kSum, "X");
+    int m1 = b.AddSourceAggregate(
+        "m1", g0, AggregateFn::kAvg,
+        {b.Sibling(m0, "T", rng.UniformRange(-4, -1), 0)});
+    int m2 = b.AddSourceAggregate("m2", g1, AggregateFn::kSum,
+                                  {WorkflowBuilder::ChildParent(m1)});
+    b.AddExpression(
+        "m3", g0, Expression::Source(0) / Expression::Source(1),
+        {WorkflowBuilder::Self(m1), WorkflowBuilder::ParentChild(m2)});
+    Workflow wf = std::move(b).Build().value();
+
+    MeasureResultSet expected = EvaluateReference(wf, table);
+    Result<MultiJobResult> result = EvaluateMultiJob(wf, table, EvalOpts());
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    Status match = CompareResultSets(expected, result->results, 1e-9);
+    EXPECT_TRUE(match.ok()) << "seed " << seed << ": " << match.ToString();
+  }
+}
+
+TEST(MultiJobTest, RejectsPartialPhases) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ1);
+  Table table = PaperUniformTable(100, 1);
+  ParallelEvalOptions opts = EvalOpts();
+  opts.phase = ParallelEvalPhase::kMapOnly;
+  EXPECT_FALSE(EvaluateMultiJob(wf, table, opts).ok());
+}
+
+}  // namespace
+}  // namespace casm

@@ -1,0 +1,123 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the distribution-scheme optimizer (§IV): candidate
+// enumeration, plan feasibility, clustering choices, and the min-blocks
+// skew heuristic.
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "core/key_derivation.h"
+#include "core/optimizer.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+OptimizerOptions Opts(int reducers, int64_t records) {
+  OptimizerOptions o;
+  o.num_reducers = reducers;
+  o.num_records = records;
+  return o;
+}
+
+TEST(OptimizerTest, SiblingFreeQueryUsesMinimalKeyNoClustering) {
+  for (PaperQuery q : {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3,
+                       PaperQuery::kQ4}) {
+    Workflow wf = MakePaperQuery(q);
+    Result<ExecutionPlan> plan = OptimizePlan(wf, Opts(50, 1000000));
+    ASSERT_TRUE(plan.ok()) << PaperQueryName(q);
+    EXPECT_EQ(plan->clustering_factor, 1) << PaperQueryName(q);
+    EXPECT_FALSE(plan->key.HasAnnotations()) << PaperQueryName(q);
+    EXPECT_EQ(plan->key, DeriveDistributionKeys(wf).query_key)
+        << PaperQueryName(q);
+  }
+}
+
+TEST(OptimizerTest, WindowQueryGetsInteriorClusteringFactor) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  Result<ExecutionPlan> plan = OptimizePlan(wf, Opts(50, 1000000));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->key.HasAnnotations());
+  EXPECT_GT(plan->clustering_factor, 1);
+  EXPECT_LT(plan->clustering_factor, plan->key.NumBaseBlocks(*wf.schema()));
+  EXPECT_GT(plan->predicted_max_load, 0);
+}
+
+TEST(OptimizerTest, EveryCandidateIsFeasible) {
+  for (PaperQuery q : AllPaperQueries()) {
+    Workflow wf = MakePaperQuery(q);
+    Result<std::vector<ExecutionPlan>> plans =
+        CandidatePlans(wf, Opts(16, 200000));
+    ASSERT_TRUE(plans.ok()) << PaperQueryName(q);
+    ASSERT_FALSE(plans->empty());
+    for (const ExecutionPlan& plan : plans.value()) {
+      EXPECT_TRUE(IsFeasible(wf, plan.key)) << PaperQueryName(q);
+    }
+    // Sorted by predicted load.
+    for (size_t i = 1; i < plans->size(); ++i) {
+      EXPECT_LE((*plans)[i - 1].predicted_max_load,
+                (*plans)[i].predicted_max_load);
+    }
+  }
+}
+
+TEST(OptimizerTest, CandidatesAreDiversifiedForWindowQueries) {
+  Workflow wf = MakeWeblogWorkflow();
+  Result<std::vector<ExecutionPlan>> plans =
+      CandidatePlans(wf, Opts(16, 500000));
+  ASSERT_TRUE(plans.ok());
+  // Expect several clustering factors plus the rolled-up fallback.
+  EXPECT_GE(plans->size(), 3u);
+  bool has_fallback = false;
+  for (const ExecutionPlan& plan : plans.value()) {
+    if (!plan.key.HasAnnotations()) has_fallback = true;
+  }
+  EXPECT_TRUE(has_fallback);
+}
+
+TEST(OptimizerTest, MinBlocksHeuristicLimitsClustering) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  OptimizerOptions opts = Opts(50, 1000000);
+  Result<ExecutionPlan> unconstrained = OptimizePlan(wf, opts);
+  opts.min_blocks_per_reducer = 4;
+  Result<ExecutionPlan> constrained = OptimizePlan(wf, opts);
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_TRUE(constrained.ok());
+  if (constrained->key.HasAnnotations()) {
+    EXPECT_GE(constrained->NumBlocks(*wf.schema()),
+              4 * opts.num_reducers);
+  }
+}
+
+TEST(OptimizerTest, ForwardsExecutionFlags) {
+  Workflow wf = MakePaperQuery(PaperQuery::kDS0);
+  OptimizerOptions opts = Opts(8, 100000);
+  opts.early_aggregation = true;
+  opts.combined_sort = true;
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->early_aggregation);
+  EXPECT_TRUE(plan->combined_sort);
+}
+
+TEST(OptimizerTest, ValidatesOptions) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ1);
+  EXPECT_FALSE(OptimizePlan(wf, Opts(0, 1000)).ok());
+  EXPECT_FALSE(OptimizePlan(wf, Opts(8, 0)).ok());
+}
+
+TEST(OptimizerTest, MoreReducersPreferSmallerClustering) {
+  // With more reducers, parallelism matters more, so the optimal cf should
+  // not grow.
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  Result<ExecutionPlan> few = OptimizePlan(wf, Opts(10, 1000000));
+  Result<ExecutionPlan> many = OptimizePlan(wf, Opts(200, 1000000));
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_LE(many->clustering_factor, few->clustering_factor);
+}
+
+}  // namespace
+}  // namespace casm

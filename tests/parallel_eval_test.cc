@@ -1,0 +1,270 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the parallel evaluator mechanics: exactness against the
+// reference evaluator on focused workflows, replication accounting,
+// ownership filtering, early aggregation, combined sort, phases, and
+// error handling. (Whole-paper-query exactness lives in integration_test.)
+
+#include <gtest/gtest.h>
+
+#include "core/key_derivation.h"
+#include "core/parallel_evaluator.h"
+#include "data/generator.h"
+#include "local/reference_evaluator.h"
+#include "queries/paper_data.h"
+
+namespace casm {
+namespace {
+
+SchemaPtr TestSchema() {
+  return MakeSchemaOrDie(
+      {Hierarchy::Numeric("X", 16, {4}, {"value", "bucket"}).value(),
+       Hierarchy::Numeric("T", 96, {4, 16}, {"tick", "quad", "span"})
+           .value()});
+}
+
+Granularity Gran(const SchemaPtr& s, const std::string& xl,
+                 const std::string& tl) {
+  return Granularity::Of(*s, {{"X", xl}, {"T", tl}}).value();
+}
+
+Workflow WindowWorkflow(const SchemaPtr& schema) {
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("base", Gran(schema, "value", "tick"),
+                      AggregateFn::kSum, "X");
+  b.AddSourceAggregate("win", Gran(schema, "value", "tick"),
+                       AggregateFn::kAvg, {b.Sibling(m1, "T", -3, 1)});
+  return std::move(b).Build().value();
+}
+
+ExecutionPlan DerivedPlan(const Workflow& wf, int64_t cf) {
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  plan.clustering_factor = cf;
+  return plan;
+}
+
+ParallelEvalOptions EvalOpts(int mappers, int reducers) {
+  ParallelEvalOptions o;
+  o.num_mappers = mappers;
+  o.num_reducers = reducers;
+  o.num_threads = 2;
+  return o;
+}
+
+TEST(ParallelEvalTest, MatchesReferenceAcrossClusteringFactors) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 3000, 77);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  for (int64_t cf : {1, 2, 5, 13, 96}) {
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, DerivedPlan(wf, cf), EvalOpts(3, 4));
+    ASSERT_TRUE(result.ok()) << "cf=" << cf << ": " << result.status();
+    EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok())
+        << "cf=" << cf << ": "
+        << CompareResultSets(expected, result->results, 1e-9).ToString();
+  }
+}
+
+TEST(ParallelEvalTest, ReplicationMatchesAnnotationWidth) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 5000, 5);
+  // Annotation (-4..+1 after derivation) has width d; replication should
+  // be about (d + cf) / cf, slightly less due to domain-edge clipping.
+  ExecutionPlan plan = DerivedPlan(wf, 1);
+  const int64_t d = plan.AnnotationWidth();
+  ASSERT_GT(d, 0);
+  for (int64_t cf : {1, 2, 4}) {
+    plan.clustering_factor = cf;
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, plan, EvalOpts(2, 3));
+    ASSERT_TRUE(result.ok());
+    const double expected_replication =
+        static_cast<double>(d + cf) / static_cast<double>(cf);
+    EXPECT_LE(result->metrics.ReplicationFactor(), expected_replication);
+    EXPECT_GT(result->metrics.ReplicationFactor(),
+              0.8 * expected_replication);
+  }
+}
+
+TEST(ParallelEvalTest, NonOverlappingPlanHasNoReplication) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("m", Gran(schema, "bucket", "quad"), AggregateFn::kSum, "X");
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 2000, 3);
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 1), EvalOpts(2, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->metrics.ReplicationFactor(), 1.0);
+  EXPECT_EQ(result->results_filtered, 0);
+}
+
+TEST(ParallelEvalTest, OverlappingPlanFiltersForeignResults) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 3000, 9);
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 2), EvalOpts(2, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->results_filtered, 0);
+}
+
+TEST(ParallelEvalTest, RejectsInfeasiblePlan) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 100, 1);
+  ExecutionPlan plan;
+  plan.key =
+      DistributionKey::Of(*schema, {{"X", "value", 0, 0}, {"T", "tick", 0, 0}})
+          .value();
+  EXPECT_FALSE(EvaluateParallel(wf, table, plan, EvalOpts(1, 1)).ok());
+}
+
+TEST(ParallelEvalTest, EarlyAggregationMatchesReference) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("sum", Gran(schema, "value", "quad"),
+                      AggregateFn::kSum, "T");
+  int m2 = b.AddBasic("avg", Gran(schema, "value", "quad"),
+                      AggregateFn::kAvg, "X");
+  b.AddExpression(
+      "ratio", Gran(schema, "value", "quad"),
+      Expression::Source(0) / Expression::Source(1),
+      {WorkflowBuilder::Self(m1), WorkflowBuilder::Self(m2)});
+  b.AddSourceAggregate("up", Gran(schema, "bucket", "span"),
+                       AggregateFn::kAvg, {WorkflowBuilder::ChildParent(m1)});
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 4000, 31);
+
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  ExecutionPlan plan = DerivedPlan(wf, 1);
+  plan.early_aggregation = true;
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan, EvalOpts(3, 4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok())
+      << CompareResultSets(expected, result->results, 1e-9).ToString();
+  // Pre-aggregation must shrink the shuffle: fewer pairs than records.
+  EXPECT_LT(result->metrics.emitted_pairs, table.num_rows());
+}
+
+TEST(ParallelEvalTest, EarlyAggregationWithOverlapMatchesReference) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  int m1 = b.AddBasic("sum", Gran(schema, "value", "quad"),
+                      AggregateFn::kSum, "X");
+  b.AddSourceAggregate("win", Gran(schema, "value", "quad"),
+                       AggregateFn::kAvg, {b.Sibling(m1, "T", -2, 0)});
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 3000, 8);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  ExecutionPlan plan = DerivedPlan(wf, 2);
+  plan.early_aggregation = true;
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan, EvalOpts(2, 3));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok())
+      << CompareResultSets(expected, result->results, 1e-9).ToString();
+}
+
+TEST(ParallelEvalTest, EarlyAggregationRejectsHolisticBasics) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("med", Gran(schema, "value", "quad"), AggregateFn::kMedian,
+             "X");
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 100, 2);
+  ExecutionPlan plan = DerivedPlan(wf, 1);
+  plan.early_aggregation = true;
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan, EvalOpts(1, 1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelEvalTest, CombinedSortMatchesReference) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 3000, 55);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  ExecutionPlan plan = DerivedPlan(wf, 3);
+  plan.combined_sort = true;
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, plan, EvalOpts(2, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok())
+      << CompareResultSets(expected, result->results, 1e-9).ToString();
+  // The reducer-side sort is skipped entirely.
+  EXPECT_DOUBLE_EQ(result->local_stats.sort_seconds, 0.0);
+}
+
+TEST(ParallelEvalTest, PhasesProduceNoResultsButCountWork) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 1000, 6);
+  for (ParallelEvalPhase phase :
+       {ParallelEvalPhase::kMapOnly, ParallelEvalPhase::kShuffleOnly,
+        ParallelEvalPhase::kLocalSortOnly}) {
+    ParallelEvalOptions opts = EvalOpts(2, 3);
+    opts.phase = phase;
+    Result<ParallelEvalResult> result =
+        EvaluateParallel(wf, table, DerivedPlan(wf, 2), opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->results.TotalResults(), 0);
+    EXPECT_GT(result->metrics.emitted_pairs, 0);
+  }
+}
+
+TEST(ParallelEvalTest, ManyVirtualReducersStillExact) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 2000, 12);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 2), EvalOpts(4, 64));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok());
+  EXPECT_EQ(static_cast<int>(result->metrics.reducer_pairs.size()), 64);
+}
+
+TEST(ParallelEvalTest, EmptyTableYieldsEmptyResults) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table(schema);
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 2), EvalOpts(2, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->results.TotalResults(), 0);
+}
+
+TEST(ParallelEvalTest, NominalAttributesDistributeCorrectly) {
+  SchemaPtr schema = MakeSchemaOrDie(
+      {Hierarchy::Nominal("K", 12,
+                          {{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3},
+                           {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}},
+                          {"word", "group", "super"})
+           .value(),
+       Hierarchy::Numeric("T", 64, {8}, {"tick", "oct"}).value()});
+  WorkflowBuilder b(schema);
+  Granularity fine =
+      Granularity::Of(*schema, {{"K", "word"}, {"T", "tick"}}).value();
+  Granularity coarse =
+      Granularity::Of(*schema, {{"K", "group"}, {"T", "oct"}}).value();
+  int m1 = b.AddBasic("cnt", fine, AggregateFn::kCount, "T");
+  b.AddSourceAggregate("up", coarse, AggregateFn::kSum,
+                       {WorkflowBuilder::ChildParent(m1)});
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 2000, 44);
+  MeasureResultSet expected = EvaluateReference(wf, table);
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 1), EvalOpts(2, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(CompareResultSets(expected, result->results, 1e-9).ok())
+      << CompareResultSets(expected, result->results, 1e-9).ToString();
+}
+
+}  // namespace
+}  // namespace casm

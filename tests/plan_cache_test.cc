@@ -1,0 +1,101 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the §V plan cache: feasibility-gated reuse of previously
+// successful distribution keys across queries on the same dataset.
+
+#include <gtest/gtest.h>
+
+#include "core/key_derivation.h"
+#include "core/plan_cache.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+ExecutionPlan PlanWithKey(DistributionKey key, int64_t cf) {
+  ExecutionPlan plan;
+  plan.key = std::move(key);
+  plan.clustering_factor = cf;
+  return plan;
+}
+
+TEST(PlanCacheTest, EmptyCacheFindsNothing) {
+  PlanCache cache;
+  Workflow wf = MakePaperQuery(PaperQuery::kQ1);
+  EXPECT_FALSE(cache.FindFeasible(wf).has_value());
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(PlanCacheTest, ReusesKeyAcrossQueriesWhenFeasible) {
+  // A key proven good for Q6 (<D1:tier1, T1:hour(-24,0)>) is feasible for
+  // Q5 only if it covers Q5's window and granularity; Q5's key
+  // (<D1:value, T1:hour(-10,0)>) is NOT feasible for Q6 (finer D1 but
+  // smaller window... the window is what matters).
+  Workflow q6 = MakePaperQuery(PaperQuery::kQ6);
+  Workflow q5 = MakePaperQuery(PaperQuery::kQ5);
+  DistributionKey q6_key = DeriveDistributionKeys(q6).query_key;
+  DistributionKey q5_key = DeriveDistributionKeys(q5).query_key;
+
+  PlanCache cache;
+  cache.Remember(PlanWithKey(q6_key, 10), 50000);
+  // Q6's key covers a 24-hour trailing window at a coarser D1 level, which
+  // generalizes Q5's needs: feasible for Q5 (Theorem 1).
+  std::optional<ExecutionPlan> for_q5 = cache.FindFeasible(q5);
+  ASSERT_TRUE(for_q5.has_value());
+  EXPECT_EQ(for_q5->key, q6_key);
+
+  // The reverse does not hold: Q5's key is at D1:value and only carries a
+  // 10-hour window, infeasible for Q6's 24-hour window and tier1 rollup.
+  PlanCache reverse;
+  reverse.Remember(PlanWithKey(q5_key, 10), 40000);
+  EXPECT_FALSE(reverse.FindFeasible(q6).has_value());
+}
+
+TEST(PlanCacheTest, PrefersBetterObservedScore) {
+  Workflow q5 = MakePaperQuery(PaperQuery::kQ5);
+  const Schema& schema = *q5.schema();
+  DistributionKey own = DeriveDistributionKeys(q5).query_key;
+  DistributionKey coarse =
+      DistributionKey::Of(schema, {{"D1", "tier2", 0, 0},
+                                   {"T1", "hour", -10, 0}})
+          .value();
+  PlanCache cache;
+  cache.Remember(PlanWithKey(own, 4), 90000);
+  cache.Remember(PlanWithKey(coarse, 4), 30000);
+  std::optional<ExecutionPlan> found = cache.FindFeasible(q5);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->key, coarse);
+}
+
+TEST(PlanCacheTest, RememberKeepsBestScorePerPlan) {
+  Workflow q5 = MakePaperQuery(PaperQuery::kQ5);
+  DistributionKey key = DeriveDistributionKeys(q5).query_key;
+  PlanCache cache;
+  cache.Remember(PlanWithKey(key, 4), 90000);
+  cache.Remember(PlanWithKey(key, 4), 50000);  // same plan, better score
+  EXPECT_EQ(cache.size(), 1);
+  cache.Remember(PlanWithKey(key, 8), 70000);  // different cf: new entry
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(PlanCacheTest, InfeasibleEntriesAreSkipped) {
+  Workflow q6 = MakePaperQuery(PaperQuery::kQ6);
+  const Schema& schema = *q6.schema();
+  PlanCache cache;
+  // A fine non-overlapping key: infeasible for Q6's window.
+  cache.Remember(
+      PlanWithKey(DistributionKey::Of(schema, {{"D1", "value", 0, 0},
+                                               {"T1", "minute", 0, 0}})
+                      .value(),
+                  1),
+      1000);
+  EXPECT_FALSE(cache.FindFeasible(q6).has_value());
+  // Adding a feasible one makes it discoverable despite the worse score.
+  cache.Remember(PlanWithKey(DeriveDistributionKeys(q6).query_key, 10),
+                 99000);
+  ASSERT_TRUE(cache.FindFeasible(q6).has_value());
+}
+
+}  // namespace
+}  // namespace casm

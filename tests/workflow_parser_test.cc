@@ -1,0 +1,193 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the textual workflow front-end: the weblog example, every
+// relationship's inference, expression precedence, windows, errors with
+// positions, and the Format -> Parse round trip (including over every
+// built-in paper query).
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "local/measure_table.h"
+#include "local/reference_evaluator.h"
+#include "measure/workflow_parser.h"
+#include "queries/paper_data.h"
+#include "queries/paper_queries.h"
+
+namespace casm {
+namespace {
+
+constexpr char kWeblogText[] = R"(
+# The paper's weblog analysis (Figure 1).
+M1 := MEDIAN(PageCount)       AT Keyword:word, Time:minute;
+M2 := MEDIAN(AdCount)         AT Keyword:word, Time:hour;
+M3 := M1 / M2                 AT Keyword:word, Time:minute;
+M4 := AVG(M3 OVER Time[-9,0]) AT Keyword:word, Time:minute;
+)";
+
+TEST(WorkflowParserTest, ParsesTheWeblogExample) {
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), kWeblogText);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  ASSERT_EQ(wf->num_measures(), 4);
+  EXPECT_EQ(wf->measure(0).op, MeasureOp::kAggregateRecords);
+  EXPECT_EQ(wf->measure(0).fn, AggregateFn::kMedian);
+  EXPECT_EQ(wf->measure(2).op, MeasureOp::kExpression);
+  ASSERT_EQ(wf->measure(2).edges.size(), 2u);
+  EXPECT_EQ(wf->measure(2).edges[0].rel, Relationship::kSelf);
+  EXPECT_EQ(wf->measure(2).edges[1].rel, Relationship::kParentChild);
+  ASSERT_EQ(wf->measure(3).edges.size(), 1u);
+  EXPECT_EQ(wf->measure(3).edges[0].rel, Relationship::kSibling);
+  EXPECT_EQ(wf->measure(3).edges[0].sibling.lo, -9);
+  EXPECT_EQ(wf->measure(3).edges[0].sibling.hi, 0);
+}
+
+TEST(WorkflowParserTest, ParsedWeblogMatchesBuiltWeblog) {
+  // Text and builder versions must evaluate identically.
+  Workflow parsed = ParseWorkflow(WeblogSchema(), kWeblogText).value();
+  Workflow built = MakeWeblogWorkflow();
+  Table table = WeblogTable(1500, 3);
+  Status match = CompareResultSets(EvaluateReference(built, table),
+                                   EvaluateReference(parsed, table), 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST(WorkflowParserTest, InfersChildParentFromGranularity) {
+  const char* text = R"(
+    base := SUM(PageCount) AT Keyword:word, Time:minute;
+    up   := AVG(base)      AT Keyword:group, Time:hour;
+  )";
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), text);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  EXPECT_EQ(wf->measure(1).edges[0].rel, Relationship::kChildParent);
+}
+
+TEST(WorkflowParserTest, ExpressionPrecedenceAndParens) {
+  const char* text = R"(
+    a := SUM(PageCount) AT Keyword:word;
+    b := COUNT(AdCount) AT Keyword:word;
+    c := a + b * 2      AT Keyword:word;
+    d := (a + b) * 2    AT Keyword:word;
+    e := -a + 1.5       AT Keyword:word;
+  )";
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), text);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  double operands[2] = {10, 3};
+  EXPECT_DOUBLE_EQ(wf->measure(2).expr.Eval(operands), 16);  // 10 + 3*2
+  EXPECT_DOUBLE_EQ(wf->measure(3).expr.Eval(operands), 26);  // (10+3)*2
+  double one[1] = {10};
+  EXPECT_DOUBLE_EQ(wf->measure(4).expr.Eval(one), -8.5);
+}
+
+TEST(WorkflowParserTest, MultiSourceAggregate) {
+  const char* text = R"(
+    a := SUM(PageCount)   AT Keyword:word, Time:hour;
+    b := COUNT(AdCount)   AT Keyword:word, Time:hour;
+    c := MAX(a, b)        AT Keyword:group, Time:day;
+  )";
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), text);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  ASSERT_EQ(wf->measure(2).edges.size(), 2u);
+  EXPECT_EQ(wf->measure(2).edges[0].rel, Relationship::kChildParent);
+}
+
+TEST(WorkflowParserTest, ReportsPositionsInErrors) {
+  const char* text = "m := SUM(Bogus) AT Keyword:word;";
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), text);
+  ASSERT_FALSE(wf.ok());
+  EXPECT_NE(wf.status().message().find("line 1"), std::string::npos)
+      << wf.status();
+  EXPECT_NE(wf.status().message().find("Bogus"), std::string::npos);
+}
+
+TEST(WorkflowParserTest, RejectsMalformedInput) {
+  SchemaPtr schema = WeblogSchema();
+  // Missing semicolon.
+  EXPECT_FALSE(ParseWorkflow(schema, "m := SUM(PageCount) AT Keyword:word")
+                   .ok());
+  // Missing AT.
+  EXPECT_FALSE(ParseWorkflow(schema, "m := SUM(PageCount);").ok());
+  // Unknown level.
+  EXPECT_FALSE(
+      ParseWorkflow(schema, "m := SUM(PageCount) AT Keyword:decade;").ok());
+  // Window over a field instead of a measure.
+  EXPECT_FALSE(ParseWorkflow(
+                   schema,
+                   "m := SUM(PageCount OVER Time[0,1]) AT Keyword:word;")
+                   .ok());
+  // Mixed field and measure arguments.
+  EXPECT_FALSE(ParseWorkflow(schema, R"(
+      a := SUM(PageCount) AT Keyword:word;
+      b := SUM(a, AdCount) AT Keyword:word;
+  )")
+                   .ok());
+  // Expression over an unknown name.
+  EXPECT_FALSE(
+      ParseWorkflow(schema, "m := x / 2 AT Keyword:word;").ok());
+  // Duplicate measure.
+  EXPECT_FALSE(ParseWorkflow(schema, R"(
+      a := SUM(PageCount) AT Keyword:word;
+      a := SUM(AdCount) AT Keyword:word;
+  )")
+                   .ok());
+  // Empty input.
+  EXPECT_FALSE(ParseWorkflow(schema, "  # only a comment\n").ok());
+  // Stray character.
+  EXPECT_FALSE(
+      ParseWorkflow(schema, "m := SUM(PageCount) AT Keyword:word; @").ok());
+}
+
+TEST(WorkflowParserTest, IncomparableGranularityReferenceFails) {
+  const char* text = R"(
+    a := SUM(PageCount) AT Keyword:word, Time:day;
+    b := AVG(a)         AT Keyword:group, Time:minute;
+  )";
+  Result<Workflow> wf = ParseWorkflow(WeblogSchema(), text);
+  EXPECT_FALSE(wf.ok());
+  EXPECT_NE(wf.status().message().find("incomparable"), std::string::npos);
+}
+
+TEST(WorkflowParserTest, FormatParsesBack) {
+  for (PaperQuery q : AllPaperQueries()) {
+    Workflow original = MakePaperQuery(q);
+    std::string text = FormatWorkflow(original);
+    Result<Workflow> reparsed = ParseWorkflow(original.schema(), text);
+    ASSERT_TRUE(reparsed.ok())
+        << PaperQueryName(q) << ": " << reparsed.status() << "\n" << text;
+    ASSERT_EQ(reparsed->num_measures(), original.num_measures());
+
+    // Semantics must round-trip: evaluate both on the same table.
+    Table table = PaperUniformTable(800, 77);
+    Status match =
+        CompareResultSets(EvaluateReference(original, table),
+                          EvaluateReference(reparsed.value(), table), 1e-9);
+    EXPECT_TRUE(match.ok()) << PaperQueryName(q) << ": " << match.ToString();
+  }
+}
+
+TEST(WorkflowParserTest, FormatWeblogRoundTrip) {
+  Workflow original = MakeWeblogWorkflow();
+  Result<Workflow> reparsed =
+      ParseWorkflow(original.schema(), FormatWorkflow(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  Table table = WeblogTable(800, 5);
+  Status match =
+      CompareResultSets(EvaluateReference(original, table),
+                        EvaluateReference(reparsed.value(), table), 1e-9);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST(WorkflowParserTest, AllGranularityFormats) {
+  // A measure at the top granularity must format to something parseable.
+  SchemaPtr schema = WeblogSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("total", Granularity::Top(*schema), AggregateFn::kCount,
+             "PageCount");
+  Workflow wf = std::move(b).Build().value();
+  std::string text = FormatWorkflow(wf);
+  Result<Workflow> reparsed = ParseWorkflow(schema, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_EQ(reparsed->measure(0).granularity, Granularity::Top(*schema));
+}
+
+}  // namespace
+}  // namespace casm
