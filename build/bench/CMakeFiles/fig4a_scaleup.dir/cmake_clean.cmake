@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_scaleup.dir/fig4a_scaleup.cc.o"
+  "CMakeFiles/fig4a_scaleup.dir/fig4a_scaleup.cc.o.d"
+  "fig4a_scaleup"
+  "fig4a_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_speedup.dir/fig4b_speedup.cc.o"
+  "CMakeFiles/fig4b_speedup.dir/fig4b_speedup.cc.o.d"
+  "fig4b_speedup"
+  "fig4b_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_clustering.dir/fig4c_clustering.cc.o"
+  "CMakeFiles/fig4c_clustering.dir/fig4c_clustering.cc.o.d"
+  "fig4c_clustering"
+  "fig4c_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_breakdown.dir/fig4d_breakdown.cc.o"
+  "CMakeFiles/fig4d_breakdown.dir/fig4d_breakdown.cc.o.d"
+  "fig4d_breakdown"
+  "fig4d_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

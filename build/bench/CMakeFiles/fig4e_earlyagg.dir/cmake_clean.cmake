@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_earlyagg.dir/fig4e_earlyagg.cc.o"
+  "CMakeFiles/fig4e_earlyagg.dir/fig4e_earlyagg.cc.o.d"
+  "fig4e_earlyagg"
+  "fig4e_earlyagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_earlyagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4f_skew.dir/fig4f_skew.cc.o"
+  "CMakeFiles/fig4f_skew.dir/fig4f_skew.cc.o.d"
+  "fig4f_skew"
+  "fig4f_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4f_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

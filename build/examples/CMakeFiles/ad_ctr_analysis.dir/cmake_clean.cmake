@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_ctr_analysis.dir/ad_ctr_analysis.cpp.o"
+  "CMakeFiles/ad_ctr_analysis.dir/ad_ctr_analysis.cpp.o.d"
+  "ad_ctr_analysis"
+  "ad_ctr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_ctr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_language.dir/query_language.cpp.o"
+  "CMakeFiles/query_language.dir/query_language.cpp.o.d"
+  "query_language"
+  "query_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_rollup.dir/retail_rollup.cpp.o"
+  "CMakeFiles/retail_rollup.dir/retail_rollup.cpp.o.d"
+  "retail_rollup"
+  "retail_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_common.dir/common/status.cc.o"
+  "CMakeFiles/casm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/casm_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/casm_common.dir/common/thread_pool.cc.o.d"
+  "libcasm_common.a"
+  "libcasm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/casm_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/CMakeFiles/casm_core.dir/core/coverage.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/coverage.cc.o.d"
+  "/root/repo/src/core/distribution_key.cc" "src/CMakeFiles/casm_core.dir/core/distribution_key.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/distribution_key.cc.o.d"
+  "/root/repo/src/core/key_derivation.cc" "src/CMakeFiles/casm_core.dir/core/key_derivation.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/key_derivation.cc.o.d"
+  "/root/repo/src/core/keygen.cc" "src/CMakeFiles/casm_core.dir/core/keygen.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/keygen.cc.o.d"
+  "/root/repo/src/core/multijob_evaluator.cc" "src/CMakeFiles/casm_core.dir/core/multijob_evaluator.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/multijob_evaluator.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/casm_core.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/parallel_evaluator.cc" "src/CMakeFiles/casm_core.dir/core/parallel_evaluator.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/parallel_evaluator.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/CMakeFiles/casm_core.dir/core/plan.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/plan.cc.o.d"
+  "/root/repo/src/core/plan_cache.cc" "src/CMakeFiles/casm_core.dir/core/plan_cache.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/plan_cache.cc.o.d"
+  "/root/repo/src/core/skew.cc" "src/CMakeFiles/casm_core.dir/core/skew.cc.o" "gcc" "src/CMakeFiles/casm_core.dir/core/skew.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

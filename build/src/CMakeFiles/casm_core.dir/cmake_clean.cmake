@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/casm_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/coverage.cc.o"
+  "CMakeFiles/casm_core.dir/core/coverage.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/distribution_key.cc.o"
+  "CMakeFiles/casm_core.dir/core/distribution_key.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/key_derivation.cc.o"
+  "CMakeFiles/casm_core.dir/core/key_derivation.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/keygen.cc.o"
+  "CMakeFiles/casm_core.dir/core/keygen.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/multijob_evaluator.cc.o"
+  "CMakeFiles/casm_core.dir/core/multijob_evaluator.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/optimizer.cc.o"
+  "CMakeFiles/casm_core.dir/core/optimizer.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/parallel_evaluator.cc.o"
+  "CMakeFiles/casm_core.dir/core/parallel_evaluator.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/plan.cc.o"
+  "CMakeFiles/casm_core.dir/core/plan.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/plan_cache.cc.o"
+  "CMakeFiles/casm_core.dir/core/plan_cache.cc.o.d"
+  "CMakeFiles/casm_core.dir/core/skew.cc.o"
+  "CMakeFiles/casm_core.dir/core/skew.cc.o.d"
+  "libcasm_core.a"
+  "libcasm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

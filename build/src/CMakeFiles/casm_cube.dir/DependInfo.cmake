@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/granularity.cc" "src/CMakeFiles/casm_cube.dir/cube/granularity.cc.o" "gcc" "src/CMakeFiles/casm_cube.dir/cube/granularity.cc.o.d"
+  "/root/repo/src/cube/hierarchy.cc" "src/CMakeFiles/casm_cube.dir/cube/hierarchy.cc.o" "gcc" "src/CMakeFiles/casm_cube.dir/cube/hierarchy.cc.o.d"
+  "/root/repo/src/cube/region.cc" "src/CMakeFiles/casm_cube.dir/cube/region.cc.o" "gcc" "src/CMakeFiles/casm_cube.dir/cube/region.cc.o.d"
+  "/root/repo/src/cube/schema.cc" "src/CMakeFiles/casm_cube.dir/cube/schema.cc.o" "gcc" "src/CMakeFiles/casm_cube.dir/cube/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_cube.dir/cube/granularity.cc.o"
+  "CMakeFiles/casm_cube.dir/cube/granularity.cc.o.d"
+  "CMakeFiles/casm_cube.dir/cube/hierarchy.cc.o"
+  "CMakeFiles/casm_cube.dir/cube/hierarchy.cc.o.d"
+  "CMakeFiles/casm_cube.dir/cube/region.cc.o"
+  "CMakeFiles/casm_cube.dir/cube/region.cc.o.d"
+  "CMakeFiles/casm_cube.dir/cube/schema.cc.o"
+  "CMakeFiles/casm_cube.dir/cube/schema.cc.o.d"
+  "libcasm_cube.a"
+  "libcasm_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_data.dir/data/generator.cc.o"
+  "CMakeFiles/casm_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/casm_data.dir/data/table.cc.o"
+  "CMakeFiles/casm_data.dir/data/table.cc.o.d"
+  "libcasm_data.a"
+  "libcasm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcasm_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_dfs.dir/dfs/dfs.cc.o"
+  "CMakeFiles/casm_dfs.dir/dfs/dfs.cc.o.d"
+  "libcasm_dfs.a"
+  "libcasm_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_io.dir/io/csv.cc.o"
+  "CMakeFiles/casm_io.dir/io/csv.cc.o.d"
+  "libcasm_io.a"
+  "libcasm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

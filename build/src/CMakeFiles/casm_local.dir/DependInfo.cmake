@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/derivation.cc" "src/CMakeFiles/casm_local.dir/local/derivation.cc.o" "gcc" "src/CMakeFiles/casm_local.dir/local/derivation.cc.o.d"
+  "/root/repo/src/local/measure_table.cc" "src/CMakeFiles/casm_local.dir/local/measure_table.cc.o" "gcc" "src/CMakeFiles/casm_local.dir/local/measure_table.cc.o.d"
+  "/root/repo/src/local/reference_evaluator.cc" "src/CMakeFiles/casm_local.dir/local/reference_evaluator.cc.o" "gcc" "src/CMakeFiles/casm_local.dir/local/reference_evaluator.cc.o.d"
+  "/root/repo/src/local/sortscan_evaluator.cc" "src/CMakeFiles/casm_local.dir/local/sortscan_evaluator.cc.o" "gcc" "src/CMakeFiles/casm_local.dir/local/sortscan_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_local.dir/local/derivation.cc.o"
+  "CMakeFiles/casm_local.dir/local/derivation.cc.o.d"
+  "CMakeFiles/casm_local.dir/local/measure_table.cc.o"
+  "CMakeFiles/casm_local.dir/local/measure_table.cc.o.d"
+  "CMakeFiles/casm_local.dir/local/reference_evaluator.cc.o"
+  "CMakeFiles/casm_local.dir/local/reference_evaluator.cc.o.d"
+  "CMakeFiles/casm_local.dir/local/sortscan_evaluator.cc.o"
+  "CMakeFiles/casm_local.dir/local/sortscan_evaluator.cc.o.d"
+  "libcasm_local.a"
+  "libcasm_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

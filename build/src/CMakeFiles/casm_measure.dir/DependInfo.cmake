@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/aggregate.cc" "src/CMakeFiles/casm_measure.dir/measure/aggregate.cc.o" "gcc" "src/CMakeFiles/casm_measure.dir/measure/aggregate.cc.o.d"
+  "/root/repo/src/measure/measure.cc" "src/CMakeFiles/casm_measure.dir/measure/measure.cc.o" "gcc" "src/CMakeFiles/casm_measure.dir/measure/measure.cc.o.d"
+  "/root/repo/src/measure/workflow.cc" "src/CMakeFiles/casm_measure.dir/measure/workflow.cc.o" "gcc" "src/CMakeFiles/casm_measure.dir/measure/workflow.cc.o.d"
+  "/root/repo/src/measure/workflow_parser.cc" "src/CMakeFiles/casm_measure.dir/measure/workflow_parser.cc.o" "gcc" "src/CMakeFiles/casm_measure.dir/measure/workflow_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_measure.dir/measure/aggregate.cc.o"
+  "CMakeFiles/casm_measure.dir/measure/aggregate.cc.o.d"
+  "CMakeFiles/casm_measure.dir/measure/measure.cc.o"
+  "CMakeFiles/casm_measure.dir/measure/measure.cc.o.d"
+  "CMakeFiles/casm_measure.dir/measure/workflow.cc.o"
+  "CMakeFiles/casm_measure.dir/measure/workflow.cc.o.d"
+  "CMakeFiles/casm_measure.dir/measure/workflow_parser.cc.o"
+  "CMakeFiles/casm_measure.dir/measure/workflow_parser.cc.o.d"
+  "libcasm_measure.a"
+  "libcasm_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster_model.cc" "src/CMakeFiles/casm_mr.dir/mr/cluster_model.cc.o" "gcc" "src/CMakeFiles/casm_mr.dir/mr/cluster_model.cc.o.d"
+  "/root/repo/src/mr/engine.cc" "src/CMakeFiles/casm_mr.dir/mr/engine.cc.o" "gcc" "src/CMakeFiles/casm_mr.dir/mr/engine.cc.o.d"
+  "/root/repo/src/mr/external_sort.cc" "src/CMakeFiles/casm_mr.dir/mr/external_sort.cc.o" "gcc" "src/CMakeFiles/casm_mr.dir/mr/external_sort.cc.o.d"
+  "/root/repo/src/mr/metrics.cc" "src/CMakeFiles/casm_mr.dir/mr/metrics.cc.o" "gcc" "src/CMakeFiles/casm_mr.dir/mr/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

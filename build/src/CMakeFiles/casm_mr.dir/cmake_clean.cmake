@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_mr.dir/mr/cluster_model.cc.o"
+  "CMakeFiles/casm_mr.dir/mr/cluster_model.cc.o.d"
+  "CMakeFiles/casm_mr.dir/mr/engine.cc.o"
+  "CMakeFiles/casm_mr.dir/mr/engine.cc.o.d"
+  "CMakeFiles/casm_mr.dir/mr/external_sort.cc.o"
+  "CMakeFiles/casm_mr.dir/mr/external_sort.cc.o.d"
+  "CMakeFiles/casm_mr.dir/mr/metrics.cc.o"
+  "CMakeFiles/casm_mr.dir/mr/metrics.cc.o.d"
+  "libcasm_mr.a"
+  "libcasm_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

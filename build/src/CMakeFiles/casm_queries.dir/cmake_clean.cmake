@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_queries.dir/queries/paper_data.cc.o"
+  "CMakeFiles/casm_queries.dir/queries/paper_data.cc.o.d"
+  "CMakeFiles/casm_queries.dir/queries/paper_queries.cc.o"
+  "CMakeFiles/casm_queries.dir/queries/paper_queries.cc.o.d"
+  "libcasm_queries.a"
+  "libcasm_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_key_test.dir/distribution_key_test.cc.o"
+  "CMakeFiles/distribution_key_test.dir/distribution_key_test.cc.o.d"
+  "distribution_key_test"
+  "distribution_key_test.pdb"
+  "distribution_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_derivation_test.dir/key_derivation_test.cc.o"
+  "CMakeFiles/key_derivation_test.dir/key_derivation_test.cc.o.d"
+  "key_derivation_test"
+  "key_derivation_test.pdb"
+  "key_derivation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_derivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_window_test.dir/multi_window_test.cc.o"
+  "CMakeFiles/multi_window_test.dir/multi_window_test.cc.o.d"
+  "multi_window_test"
+  "multi_window_test.pdb"
+  "multi_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan_cache_test.cc" "tests/CMakeFiles/plan_cache_test.dir/plan_cache_test.cc.o" "gcc" "tests/CMakeFiles/plan_cache_test.dir/plan_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casm_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

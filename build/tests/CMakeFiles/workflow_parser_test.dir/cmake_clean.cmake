@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_parser_test.dir/workflow_parser_test.cc.o"
+  "CMakeFiles/workflow_parser_test.dir/workflow_parser_test.cc.o.d"
+  "workflow_parser_test"
+  "workflow_parser_test.pdb"
+  "workflow_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

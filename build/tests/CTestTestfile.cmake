@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/local_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/distribution_key_test[1]_include.cmake")
+include("/root/repo/build/tests/key_derivation_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/skew_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/multijob_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/external_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/calendar_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_window_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/death_test[1]_include.cmake")
