@@ -13,6 +13,12 @@
 // Scaling: datasets default to bench-friendly sizes; set CASM_BENCH_SCALE
 // (a positive float) to scale row counts, e.g. CASM_BENCH_SCALE=10 for a
 // longer, higher-fidelity run.
+//
+// Fault injection: set CASM_BENCH_INJECT_FAULTS=1 to fail the first map
+// task and the first reduce task of every job on their first attempt.
+// Results are unchanged (the engine replays the failed attempts); the
+// knob exists to measure the retry path's overhead and to keep the
+// fault-tolerant substrate exercised by the figure harnesses.
 
 #ifndef CASM_BENCH_BENCH_UTIL_H_
 #define CASM_BENCH_BENCH_UTIL_H_
@@ -57,6 +63,12 @@ struct RunOutcome {
 /// Runs a specific plan, returning engine metrics and the modeled cluster
 /// response time. Aborts on failure (benchmarks only run supported
 /// configurations).
+/// True when CASM_BENCH_INJECT_FAULTS asks for first-attempt task faults.
+inline bool InjectFaults() {
+  const char* env = std::getenv("CASM_BENCH_INJECT_FAULTS");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
 inline RunOutcome RunPlan(const Workflow& wf, const Table& table,
                           const ExecutionPlan& plan,
                           const ClusterConfig& cluster,
@@ -65,6 +77,14 @@ inline RunOutcome RunPlan(const Workflow& wf, const Table& table,
   eval.num_mappers = cluster.num_mappers;
   eval.num_reducers = cluster.num_reducers;
   eval.phase = phase;
+  if (InjectFaults()) {
+    eval.fault_injector = [](MapReduceTaskPhase, int task, int attempt) {
+      if (task == 0 && attempt == 1) {
+        return Status::Internal("injected bench fault");
+      }
+      return Status::OK();
+    };
+  }
   Result<ParallelEvalResult> result = EvaluateParallel(wf, table, plan, eval);
   CASM_CHECK(result.ok()) << result.status().ToString();
   RunOutcome outcome{std::move(result).value(), plan, 0};

@@ -2,12 +2,26 @@
 # Full verification loop: configure, build, run every test, run every
 # figure/bench harness. Mirrors what EXPERIMENTS.md's outputs were
 # produced with.
+#
+# A second configuration rebuilds the library and reruns the tier-1 test
+# suite under AddressSanitizer (the fault-tolerance substrate retries
+# tasks and replays emit buffers — ASan guards the replay paths against
+# use-after-free/overflow regressions). Set CASM_SKIP_ASAN=1 to skip it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+if [ "${CASM_SKIP_ASAN:-0}" != "1" ]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "===== $b ====="

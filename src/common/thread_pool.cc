@@ -3,7 +3,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -37,25 +39,47 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
+void ThreadPool::RecordError(Status status) {
   std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_.ok()) first_error_ = std::move(status);
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  Status error = std::move(first_error_);
+  first_error_ = Status::OK();
+  return error;
+}
+
+Status ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::OK();
   // Chunk so that each worker receives a handful of tasks; a shared atomic
-  // cursor inside each chunked task balances uneven per-item cost.
+  // cursor inside each chunked task balances uneven per-item cost. On the
+  // first failure the cursor is pushed past n so the remaining indices are
+  // abandoned (fail-fast) without tearing down the pool.
   auto cursor = std::make_shared<std::atomic<size_t>>(0);
   size_t tasks = std::min(n, threads_.size() * 4);
   for (size_t t = 0; t < tasks; ++t) {
-    Submit([cursor, n, &fn] {
+    Submit([this, cursor, n, &fn] {
       for (size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
-        fn(i);
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          RecordError(Status::Internal("ParallelFor item " + std::to_string(i) +
+                                       " threw: " + e.what()));
+          cursor->store(n);
+          return;
+        } catch (...) {
+          RecordError(Status::Internal("ParallelFor item " + std::to_string(i) +
+                                       " threw a non-std exception"));
+          cursor->store(n);
+          return;
+        }
       }
     });
   }
-  Wait();
+  return Wait();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -68,7 +92,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not escape the worker thread (std::terminate);
+    // capture the failure for the next Wait() instead.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      RecordError(
+          Status::Internal(std::string("submitted task threw: ") + e.what()));
+    } catch (...) {
+      RecordError(Status::Internal("submitted task threw a non-std exception"));
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -2,6 +2,12 @@
 //
 // Fixed-size worker pool used by the MapReduce engine to execute map and
 // reduce tasks. Tasks are closures; Wait() provides a full barrier.
+//
+// Fault model: an exception escaping a submitted task is captured by the
+// worker (never std::terminate) and surfaced as a Status from the next
+// Wait()/ParallelFor(); the pool stays usable afterwards. Retry policy
+// lives above the pool (mr/engine.h) — the pool only guarantees that a
+// failing task cannot take the process down.
 
 #ifndef CASM_COMMON_THREAD_POOL_H_
 #define CASM_COMMON_THREAD_POOL_H_
@@ -13,6 +19,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace casm {
 
@@ -29,20 +37,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` for execution on some worker. An exception thrown by
+  /// `task` is captured (first one wins) and returned by the next Wait().
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. Returns the first
+  /// error captured from a task since the previous Wait() (and clears it),
+  /// so the pool can be reused after a failure.
+  Status Wait();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// `fn` must be safe to invoke concurrently for distinct i.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// `fn` must be safe to invoke concurrently for distinct i. If an
+  /// invocation throws, remaining indices are abandoned (fail-fast) and the
+  /// first failure is returned; indices already dispatched still complete.
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
+  void RecordError(Status status);  // first error wins; thread-safe
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
@@ -51,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + running
   bool shutdown_ = false;
+  Status first_error_;  // first captured task failure since the last Wait()
 };
 
 }  // namespace casm

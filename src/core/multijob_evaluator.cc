@@ -14,6 +14,16 @@
 namespace casm {
 namespace {
 
+/// Prefixes a failed job's status with which measure/job it belonged to;
+/// the engine message below it names the failing phase and task.
+Status AnnotateJobError(const Status& s, const char* kind,
+                        const std::string& measure_name, int job_index) {
+  return Status(s.code(), std::string("multi-job evaluation: ") + kind +
+                              " job for measure '" + measure_name + "' (job " +
+                              std::to_string(job_index) +
+                              ") failed: " + s.message());
+}
+
 /// Evaluates one basic measure with its own repartition-the-raw-data job.
 Status RunBasicJob(const Workflow& wf, int index, const Table& table,
                    const ParallelEvalOptions& options, MapReduceEngine* engine,
@@ -30,6 +40,8 @@ Status RunBasicJob(const Workflow& wf, int index, const Table& table,
   spec.num_reducers = options.num_reducers;
   spec.key_width = num_attrs;
   spec.value_width = 1;
+  spec.max_task_attempts = options.max_task_attempts;
+  spec.fault_injector = options.fault_injector;
   spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
     for (int64_t r = begin; r < end; ++r) {
       const int64_t* row = table.row(r);
@@ -47,9 +59,11 @@ Status RunBasicJob(const Workflow& wf, int index, const Table& table,
     std::unique_lock<std::mutex> lock(mu);
     out.emplace(std::move(coords), acc.Result());
   };
-  CASM_ASSIGN_OR_RETURN(MapReduceMetrics metrics,
-                        engine->Run(spec, table.num_rows()));
-  total->Accumulate(metrics);
+  Result<MapReduceMetrics> run = engine->Run(spec, table.num_rows());
+  if (!run.ok()) {
+    return AnnotateJobError(run.status(), "basic", m.name, index);
+  }
+  total->Accumulate(run.value());
   return Status::OK();
 }
 
@@ -94,6 +108,8 @@ Status RunCompositeJob(const Workflow& wf, int index,
   spec.num_reducers = options.num_reducers;
   spec.key_width = num_attrs;
   spec.value_width = row_width;  // [edge, target-or-parent coords, bits]
+  spec.max_task_attempts = options.max_task_attempts;
+  spec.fault_injector = options.fault_injector;
   spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
     std::vector<int64_t> value(static_cast<size_t>(row_width));
     for (int64_t r = begin; r < end; ++r) {
@@ -235,9 +251,11 @@ Status RunCompositeJob(const Workflow& wf, int index,
     std::unique_lock<std::mutex> lock(mu);
     for (auto& [coords, value] : local) out.emplace(coords, value);
   };
-  CASM_ASSIGN_OR_RETURN(MapReduceMetrics metrics,
-                        engine->Run(spec, num_input));
-  total->Accumulate(metrics);
+  Result<MapReduceMetrics> run = engine->Run(spec, num_input);
+  if (!run.ok()) {
+    return AnnotateJobError(run.status(), "composite", m.name, index);
+  }
+  total->Accumulate(run.value());
   return Status::OK();
 }
 

@@ -107,6 +107,8 @@ Result<ParallelEvalResult> EvaluateParallel(
   spec.map_only = options.phase == ParallelEvalPhase::kMapOnly;
   spec.skip_reduce = options.phase == ParallelEvalPhase::kShuffleOnly;
   spec.reducer_memory_limit_pairs = options.reducer_memory_limit_pairs;
+  spec.max_task_attempts = options.max_task_attempts;
+  spec.fault_injector = options.fault_injector;
 
   DistributedFile::Assignment dfs_assignment;
   if (options.input_file != nullptr) {
@@ -258,7 +260,10 @@ Result<ParallelEvalResult> EvaluateParallel(
           DeriveCompositeMeasure(wf, i, &block_results);
         }
       }
-      stats.records += group.size();
+      // These are shuffled partial-state pairs, not raw input records —
+      // counting them as `records` would inflate the early-agg path's
+      // stats relative to raw redistribution.
+      stats.merged_partials += group.size();
       stats.eval_seconds += SecondsSince(eval_start);
       int64_t filtered = 0;
       MeasureResultSet kept = FilterOwned(wf, keygen, group.key(),
@@ -267,7 +272,13 @@ Result<ParallelEvalResult> EvaluateParallel(
     };
   }
 
-  CASM_ASSIGN_OR_RETURN(out.metrics, engine.Run(spec, table.num_rows()));
+  Result<MapReduceMetrics> run = engine.Run(spec, table.num_rows());
+  if (!run.ok()) {
+    // The engine message already names the failing phase and task id.
+    return Status(run.status().code(),
+                  "parallel evaluation failed: " + run.status().message());
+  }
+  out.metrics = std::move(run).value();
   if (!sink.first_error.ok()) return sink.first_error;
   out.results = std::move(sink.results);
   out.local_stats = sink.local_stats;

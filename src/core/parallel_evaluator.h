@@ -20,6 +20,7 @@
 #include "local/measure_table.h"
 #include "local/sortscan_evaluator.h"
 #include "measure/workflow.h"
+#include "mr/engine.h"
 #include "mr/metrics.h"
 
 namespace casm {
@@ -46,12 +47,23 @@ struct ParallelEvalOptions {
   /// locality-scheduled splits of this file instead of contiguous chunks.
   /// Must describe exactly `table.num_rows()` rows. Not owned.
   const DistributedFile* input_file = nullptr;
+  /// Hadoop-style per-task retry budget forwarded to the engine (>= 1);
+  /// exhausted retries surface as a non-OK Status naming phase and task.
+  int max_task_attempts = 2;
+  /// Optional deterministic fault injection forwarded to the engine
+  /// (tests, chaos benches). See mr/engine.h.
+  MapReduceFaultInjector fault_injector;
 };
 
 struct ParallelEvalResult {
   MeasureResultSet results;       // empty unless phase == kFull
   MapReduceMetrics metrics;       // engine metrics (per-reducer workloads)
-  LocalEvalStats local_stats;     // aggregated per-block evaluator work
+  /// Aggregated per-block evaluator work. `records` counts raw records
+  /// scanned by the local sort/scan algorithm (raw-redistribution path);
+  /// the early-aggregation path ships pre-aggregated states instead and
+  /// reports them in `merged_partials`, leaving `records` untouched so
+  /// the two paths' stats stay comparable.
+  LocalEvalStats local_stats;
   int64_t blocks_evaluated = 0;
   int64_t results_filtered = 0;   // measure records dropped by ownership
   /// Fraction of input blocks read replica-locally (1.0 without a

@@ -113,9 +113,10 @@ Result<Table> GenerateTable(SchemaPtr schema, int64_t num_rows,
   if (num_chunks > 1) {
     ThreadPool pool(
         std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
-    pool.ParallelFor(static_cast<size_t>(num_chunks), [&](size_t chunk) {
-      fill_chunk(static_cast<int64_t>(chunk));
-    });
+    CASM_RETURN_IF_ERROR(
+        pool.ParallelFor(static_cast<size_t>(num_chunks), [&](size_t chunk) {
+          fill_chunk(static_cast<int64_t>(chunk));
+        }));
   } else if (num_chunks == 1) {
     fill_chunk(0);
   }

@@ -27,7 +27,13 @@ namespace casm {
 
 /// Work counters for one Evaluate() call (feeds the Fig 4(d) breakdown).
 struct LocalEvalStats {
+  /// Raw records scanned by the sort/scan algorithm. The early-aggregation
+  /// reduce path merges pre-aggregated states instead of scanning records;
+  /// it reports that work in `merged_partials` and leaves `records` at 0,
+  /// so the two parallel paths' stats stay comparable.
   int64_t records = 0;
+  /// Pre-aggregated partial states merged (early-aggregation path only).
+  int64_t merged_partials = 0;
   int64_t streamed_measures = 0;
   int64_t hashed_measures = 0;
   double sort_seconds = 0;
@@ -35,6 +41,7 @@ struct LocalEvalStats {
 
   void Accumulate(const LocalEvalStats& other) {
     records += other.records;
+    merged_partials += other.merged_partials;
     streamed_measures += other.streamed_measures;
     hashed_measures += other.hashed_measures;
     sort_seconds += other.sort_seconds;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <exception>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -29,16 +30,81 @@ int CompareKeys(const int64_t* a, const int64_t* b, int width) {
   return 0;
 }
 
+/// Shared failure/retry accounting across a job's task attempts.
+struct RetryCounters {
+  std::mutex mu;
+  int64_t failures = 0;
+  int64_t retries = 0;
+};
+
+/// Runs one task as a sequence of attempts. Each attempt first consults the
+/// fault injector, then runs `attempt_body` with exceptions converted to
+/// Status. A failed attempt is retried while the retry budget allows and
+/// the attempt produced no user-visible output (`*output_started` stays
+/// false); otherwise the failure is returned, prefixed with the phase and
+/// task id.
+Status RunTaskWithRetry(
+    const MapReduceSpec& spec, MapReduceTaskPhase phase, int task,
+    RetryCounters* counters,
+    const std::function<Status(int attempt, bool* output_started)>&
+        attempt_body) {
+  for (int attempt = 1;; ++attempt) {
+    bool output_started = false;
+    Status status;
+    if (spec.fault_injector) {
+      status = spec.fault_injector(phase, task, attempt);
+    }
+    if (status.ok()) {
+      try {
+        status = attempt_body(attempt, &output_started);
+      } catch (const std::exception& e) {
+        status = Status::Internal(std::string("uncaught exception: ") +
+                                  e.what());
+      } catch (...) {
+        status = Status::Internal("uncaught non-std exception");
+      }
+    }
+    if (status.ok()) return status;
+    {
+      std::unique_lock<std::mutex> lock(counters->mu);
+      ++counters->failures;
+    }
+    const bool budget_left = attempt < spec.max_task_attempts;
+    if (output_started || !budget_left) {
+      std::string msg = std::string(TaskPhaseName(phase)) + " task " +
+                        std::to_string(task) + " failed after " +
+                        std::to_string(attempt) + " attempt(s): " +
+                        status.message();
+      if (output_started && budget_left) {
+        msg += " (not retried: reduce output already delivered)";
+      }
+      return Status(status.code(), std::move(msg));
+    }
+    std::unique_lock<std::mutex> lock(counters->mu);
+    ++counters->retries;
+  }
+}
+
 }  // namespace
+
+const char* TaskPhaseName(MapReduceTaskPhase phase) {
+  return phase == MapReduceTaskPhase::kMap ? "map" : "reduce";
+}
 
 uint64_t PartitionHash(const int64_t* key, int width) {
   uint64_t h = 1469598103934665603ULL;
   for (int i = 0; i < width; ++i) {
-    uint64_t x = static_cast<uint64_t>(key[i]);
-    h ^= x;
+    h ^= static_cast<uint64_t>(key[i]);
     h *= 1099511628211ULL;
-    h ^= h >> 29;
   }
+  // fmix64 finalizer (MurmurHash3): the plain FNV tail disperses high bits
+  // well but leaves the low bits weakly mixed, which skews `hash % m`
+  // badly for power-of-two reducer counts on sequential keys.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
   return h;
 }
 
@@ -54,6 +120,11 @@ void Emitter::Emit(const int64_t* key, const int64_t* value) {
   buf.insert(buf.end(), key, key + key_width_);
   buf.insert(buf.end(), value, value + value_width_);
   ++emitted_;
+}
+
+void Emitter::Clear() {
+  emitted_ = 0;
+  for (std::vector<int64_t>& buf : buffers_) buf.clear();
 }
 
 std::vector<int64_t> GroupView::CopyValues() const {
@@ -75,6 +146,8 @@ MapReduceEngine::MapReduceEngine(int num_threads) {
   num_threads_ = num_threads;
 }
 
+MapReduceEngine::~MapReduceEngine() = default;
+
 Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
                                               int64_t num_input_rows) {
   if (spec.num_mappers < 1 || spec.num_reducers < 1) {
@@ -88,6 +161,9 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     return Status::InvalidArgument(
         "reduce_fn is required unless map_only/skip_reduce");
   }
+  if (spec.max_task_attempts < 1) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
 
   const int num_mappers = spec.num_mappers;
   const int num_reducers = spec.num_reducers;
@@ -99,9 +175,20 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   metrics.reducer_groups.assign(static_cast<size_t>(num_reducers), 0);
 
   auto total_start = std::chrono::steady_clock::now();
-  ThreadPool pool(num_threads_);
+  // One pool per engine, shared across sequential Run() calls.
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  ThreadPool& pool = *pool_;
 
-  // ---- Map phase: each mapper processes one input split.
+  RetryCounters counters;
+  std::mutex error_mu;
+  Status first_task_error;
+  auto record_task_error = [&](Status s) {
+    std::unique_lock<std::mutex> lock(error_mu);
+    if (first_task_error.ok()) first_task_error = std::move(s);
+  };
+
+  // ---- Map phase: each mapper processes one input split, with failed
+  // attempts replayed from a cleared Emitter.
   auto map_start = std::chrono::steady_clock::now();
   std::vector<Emitter> emitters;
   emitters.reserve(static_cast<size_t>(num_mappers));
@@ -110,19 +197,36 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   }
   const int64_t rows_per_mapper =
       (num_input_rows + num_mappers - 1) / num_mappers;
-  pool.ParallelFor(static_cast<size_t>(num_mappers), [&](size_t m) {
-    if (spec.split_fn) {
-      for (const auto& [begin, end] : spec.split_fn(static_cast<int>(m))) {
-        if (begin < end) spec.map_fn(begin, end, &emitters[m]);
-      }
-      return;
-    }
-    int64_t begin = static_cast<int64_t>(m) * rows_per_mapper;
-    int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
-    if (begin >= end) return;
-    spec.map_fn(begin, end, &emitters[m]);
-  });
+  std::vector<double> map_task_seconds(static_cast<size_t>(num_mappers), 0);
+  Status pool_status =
+      pool.ParallelFor(static_cast<size_t>(num_mappers), [&](size_t m) {
+        auto task_start = std::chrono::steady_clock::now();
+        Status s = RunTaskWithRetry(
+            spec, MapReduceTaskPhase::kMap, static_cast<int>(m), &counters,
+            [&](int /*attempt*/, bool* /*output_started*/) -> Status {
+              // Clear-and-replay: drop any pairs a failed attempt buffered.
+              emitters[m].Clear();
+              if (spec.split_fn) {
+                for (const auto& [begin, end] :
+                     spec.split_fn(static_cast<int>(m))) {
+                  if (begin < end) spec.map_fn(begin, end, &emitters[m]);
+                }
+                return Status::OK();
+              }
+              int64_t begin = static_cast<int64_t>(m) * rows_per_mapper;
+              int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
+              if (begin < end) spec.map_fn(begin, end, &emitters[m]);
+              return Status::OK();
+            });
+        map_task_seconds[m] = SecondsSince(task_start);
+        if (!s.ok()) record_task_error(std::move(s));
+      });
   metrics.map_seconds = SecondsSince(map_start);
+  for (double s : map_task_seconds) metrics.map_cpu_seconds += s;
+  metrics.task_failures = counters.failures;
+  metrics.task_retries = counters.retries;
+  if (!first_task_error.ok()) return first_task_error;
+  CASM_RETURN_IF_ERROR(pool_status);
 
   for (const Emitter& e : emitters) metrics.emitted_pairs += e.emitted();
   for (int r = 0; r < num_reducers; ++r) {
@@ -139,78 +243,94 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     return metrics;
   }
 
-  // ---- Shuffle + framework sort + reduce, per (virtual) reducer.
+  // ---- Shuffle + framework sort + reduce, per (virtual) reducer. Each
+  // reduce task is a retriable attempt until its first group is delivered.
+  auto reduce_phase_start = std::chrono::steady_clock::now();
   std::vector<double> sort_seconds(static_cast<size_t>(num_reducers), 0);
   std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0);
-  std::mutex error_mu;
-  Status first_error;
+  std::mutex spill_mu;
 
-  pool.ParallelFor(static_cast<size_t>(num_reducers), [&](size_t r) {
-    auto sort_start = std::chrono::steady_clock::now();
-    // Gather this reducer's pairs from every mapper.
-    size_t total = 0;
-    for (const Emitter& e : emitters) total += e.buffers_[r].size();
-    std::vector<int64_t> pairs;
-    pairs.reserve(total);
-    for (const Emitter& e : emitters) {
-      pairs.insert(pairs.end(), e.buffers_[r].begin(), e.buffers_[r].end());
-    }
-    const int64_t count = static_cast<int64_t>(pairs.size()) / pair_width;
+  pool_status =
+      pool.ParallelFor(static_cast<size_t>(num_reducers), [&](size_t r) {
+        Status s = RunTaskWithRetry(
+            spec, MapReduceTaskPhase::kReduce, static_cast<int>(r), &counters,
+            [&](int /*attempt*/, bool* output_started) -> Status {
+              auto sort_start = std::chrono::steady_clock::now();
+              // Gather this reducer's pairs from every mapper.
+              size_t total = 0;
+              for (const Emitter& e : emitters) total += e.buffers_[r].size();
+              std::vector<int64_t> pairs;
+              pairs.reserve(total);
+              for (const Emitter& e : emitters) {
+                pairs.insert(pairs.end(), e.buffers_[r].begin(),
+                             e.buffers_[r].end());
+              }
+              const int64_t count =
+                  static_cast<int64_t>(pairs.size()) / pair_width;
 
-    // Sort by key (and by value within key if a secondary order is given),
-    // spilling to disk beyond the per-reducer memory budget.
-    const int key_width = spec.key_width;
-    auto pair_less = [&](const int64_t* px, const int64_t* py) {
-      int c = CompareKeys(px, py, key_width);
-      if (c != 0) return c < 0;
-      if (spec.value_less) {
-        return spec.value_less(px + key_width, py + key_width);
-      }
-      return false;
-    };
-    ExternalSortOptions sort_options;
-    sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
-    sort_options.temp_dir = spec.spill_dir;
-    ExternalSortStats spill;
-    Result<std::vector<int64_t>> sort_result = ExternalSort(
-        std::move(pairs), pair_width, pair_less, sort_options, &spill);
-    if (!sort_result.ok()) {
-      std::unique_lock<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = sort_result.status();
-      return;
-    }
-    std::vector<int64_t> sorted = std::move(sort_result).value();
-    {
-      std::unique_lock<std::mutex> lock(error_mu);
-      metrics.spilled_runs += spill.runs_spilled;
-      metrics.spilled_records += spill.records_spilled;
-    }
-    sort_seconds[r] = SecondsSince(sort_start);
+              // Sort by key (and by value within key if a secondary order
+              // is given), spilling to disk beyond the memory budget.
+              const int key_width = spec.key_width;
+              auto pair_less = [&](const int64_t* px, const int64_t* py) {
+                int c = CompareKeys(px, py, key_width);
+                if (c != 0) return c < 0;
+                if (spec.value_less) {
+                  return spec.value_less(px + key_width, py + key_width);
+                }
+                return false;
+              };
+              ExternalSortOptions sort_options;
+              sort_options.memory_limit_records =
+                  spec.reducer_memory_limit_pairs;
+              sort_options.temp_dir = spec.spill_dir;
+              ExternalSortStats spill;
+              Result<std::vector<int64_t>> sort_result =
+                  ExternalSort(std::move(pairs), pair_width, pair_less,
+                               sort_options, &spill);
+              CASM_RETURN_IF_ERROR(sort_result.status());
+              std::vector<int64_t> sorted = std::move(sort_result).value();
+              {
+                std::unique_lock<std::mutex> lock(spill_mu);
+                metrics.spilled_runs += spill.runs_spilled;
+                metrics.spilled_records += spill.records_spilled;
+              }
+              sort_seconds[r] += SecondsSince(sort_start);
 
-    // Walk key groups.
-    auto reduce_start = std::chrono::steady_clock::now();
-    int64_t groups = 0;
-    int64_t begin = 0;
-    while (begin < count) {
-      int64_t end = begin + 1;
-      const int64_t* first = sorted.data() + begin * pair_width;
-      while (end < count &&
-             CompareKeys(first, sorted.data() + end * pair_width, key_width) ==
-                 0) {
-        ++end;
-      }
-      ++groups;
-      if (!spec.skip_reduce) {
-        GroupView group(first, end - begin, spec.key_width, spec.value_width);
-        spec.reduce_fn(static_cast<int>(r), group);
-      }
-      begin = end;
-    }
-    metrics.reducer_groups[r] = groups;
-    reduce_seconds[r] = SecondsSince(reduce_start);
-  });
+              // Walk key groups.
+              auto reduce_start = std::chrono::steady_clock::now();
+              int64_t groups = 0;
+              int64_t begin = 0;
+              while (begin < count) {
+                int64_t end = begin + 1;
+                const int64_t* first = sorted.data() + begin * pair_width;
+                while (end < count &&
+                       CompareKeys(first, sorted.data() + end * pair_width,
+                                   key_width) == 0) {
+                  ++end;
+                }
+                ++groups;
+                if (!spec.skip_reduce) {
+                  GroupView group(first, end - begin, spec.key_width,
+                                  spec.value_width);
+                  // Delivered output cannot be rolled back: from here on a
+                  // failure of this attempt is terminal (no replay).
+                  *output_started = true;
+                  spec.reduce_fn(static_cast<int>(r), group);
+                }
+                begin = end;
+              }
+              metrics.reducer_groups[r] = groups;
+              reduce_seconds[r] += SecondsSince(reduce_start);
+              return Status::OK();
+            });
+        if (!s.ok()) record_task_error(std::move(s));
+      });
 
-  if (!first_error.ok()) return first_error;
+  metrics.task_failures = counters.failures;
+  metrics.task_retries = counters.retries;
+  if (!first_task_error.ok()) return first_task_error;
+  CASM_RETURN_IF_ERROR(pool_status);
+  metrics.reduce_phase_wall_seconds = SecondsSince(reduce_phase_start);
   for (double s : sort_seconds) metrics.shuffle_sort_seconds += s;
   for (double s : reduce_seconds) metrics.reduce_seconds += s;
   metrics.total_seconds = SecondsSince(total_start);

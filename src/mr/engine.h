@@ -12,12 +12,26 @@
 // it models the paper's cluster-task count and may exceed the worker
 // thread count; per-reducer workloads are what the optimizer and the
 // cluster model consume.
+//
+// Fault tolerance (the defining substrate property of the paper's Hadoop
+// testbed): a map or reduce task attempt that fails — via a thrown
+// exception, a non-OK internal status, or an injected fault — is retried
+// up to `MapReduceSpec::max_task_attempts` times. A retried map attempt
+// replays the mapper's split from a cleared Emitter, so a run that
+// succeeds after retries produces output identical to a fault-free run.
+// A reduce attempt is retried only while it has not yet delivered a group
+// to `reduce_fn`; once user output has started, a failure is terminal
+// (delivered groups cannot be rolled back, and re-delivering them would
+// duplicate side effects). Exhausted retries surface as a clean `Status`
+// from Run() naming the phase and task — the process never dies.
 
 #ifndef CASM_MR_ENGINE_H_
 #define CASM_MR_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -25,10 +39,26 @@
 
 namespace casm {
 
+class ThreadPool;
+
 /// The engine's key-to-reducer hash (reducer = hash % num_reducers).
 /// Exposed so that the skew module's simulated dispatch predicts exactly
 /// the assignment a real run would produce.
 uint64_t PartitionHash(const int64_t* key, int width);
+
+/// Which side of the job a task attempt belongs to.
+enum class MapReduceTaskPhase { kMap, kReduce };
+
+/// "map" / "reduce" — used in error messages and logs.
+const char* TaskPhaseName(MapReduceTaskPhase phase);
+
+/// Deterministic fault-injection hook: invoked at the start of every task
+/// attempt (`attempt` is 1-based); returning a non-OK status makes that
+/// attempt fail as if the user function had failed. Lets tests and the
+/// cluster cost model exercise retry paths reproducibly, e.g. "fail
+/// reducer 3 on attempt 1".
+using MapReduceFaultInjector =
+    std::function<Status(MapReduceTaskPhase phase, int task, int attempt)>;
 
 /// Mapper-side sink for key/value pairs. Not thread-safe; each mapper task
 /// owns one.
@@ -39,6 +69,10 @@ class Emitter {
   /// Routes (key, value) to the reducer that owns `key`. The partition is
   /// a hash of the key — the uniform random block assignment of §IV-A.
   void Emit(const int64_t* key, const int64_t* value);
+
+  /// Discards every buffered pair. The engine calls this before each map
+  /// task attempt so a retried mapper replays its split from scratch.
+  void Clear();
 
   int64_t emitted() const { return emitted_; }
 
@@ -85,7 +119,8 @@ struct MapReduceSpec {
   int key_width = 1;     // int64s per key
   int value_width = 1;   // int64s per value
 
-  /// Map task: process input rows [begin, end) and emit pairs.
+  /// Map task: process input rows [begin, end) and emit pairs. Throwing an
+  /// exception fails the attempt (retried, see max_task_attempts).
   std::function<void(int64_t begin, int64_t end, Emitter* emitter)> map_fn;
 
   /// Optional input-split assignment (e.g. from a DistributedFile's
@@ -96,7 +131,9 @@ struct MapReduceSpec {
 
   /// Reduce: invoked once per key group. May be empty (map-only job).
   /// Invoked concurrently for groups of different reducers; groups of one
-  /// reducer are delivered sequentially in key order.
+  /// reducer are delivered sequentially in key order. Throwing an
+  /// exception fails the reduce task (terminal once any group of that
+  /// task has been delivered — see the header comment).
   std::function<void(int reducer, const GroupView& group)> reduce_fn;
 
   /// Optional secondary sort: orders values within a key group (the
@@ -115,16 +152,31 @@ struct MapReduceSpec {
   int64_t reducer_memory_limit_pairs = 0;
   /// Spill directory (empty = system temp dir).
   std::string spill_dir;
+
+  /// Maximum attempts per map/reduce task (>= 1); the Hadoop-style retry
+  /// budget. 2 means one retry after the first failure.
+  int max_task_attempts = 2;
+  /// Optional deterministic fault injection (tests, chaos benches).
+  MapReduceFaultInjector fault_injector;
 };
 
-/// Executes MapReduce jobs on an internal thread pool.
+/// Executes MapReduce jobs on an internal thread pool. The pool is created
+/// once and shared by every Run() call on this engine (tasks of sequential
+/// jobs reuse the same workers, like a long-lived cluster). Run() calls on
+/// one engine must not overlap; use one engine per concurrent caller.
 class MapReduceEngine {
  public:
   /// `num_threads` <= 0 selects the hardware concurrency.
   explicit MapReduceEngine(int num_threads);
+  ~MapReduceEngine();
+
+  MapReduceEngine(const MapReduceEngine&) = delete;
+  MapReduceEngine& operator=(const MapReduceEngine&) = delete;
 
   /// Runs the job over `num_input_rows` abstract input rows (the map_fn
-  /// interprets row indices). Returns metrics on success.
+  /// interprets row indices). Returns metrics on success; returns a
+  /// non-OK Status naming the phase and task when a task exhausts its
+  /// retry budget (user-code exceptions included — never std::terminate).
   Result<MapReduceMetrics> Run(const MapReduceSpec& spec,
                                int64_t num_input_rows);
 
@@ -132,6 +184,7 @@ class MapReduceEngine {
 
  private:
   int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace casm

@@ -32,9 +32,15 @@ std::string MapReduceMetrics::ToString() const {
   out += " reducers=" + std::to_string(reducer_pairs.size());
   out += " max_reducer_pairs=" + std::to_string(MaxReducerPairs());
   out += " groups=" + std::to_string(TotalGroups());
-  out += " map_s=" + std::to_string(map_seconds);
-  out += " shuffle_sort_s=" + std::to_string(shuffle_sort_seconds);
-  out += " reduce_s=" + std::to_string(reduce_seconds);
+  if (task_failures > 0 || task_retries > 0) {
+    out += " task_failures=" + std::to_string(task_failures);
+    out += " task_retries=" + std::to_string(task_retries);
+  }
+  out += " map_wall_s=" + std::to_string(map_seconds);
+  out += " map_cpu_s=" + std::to_string(map_cpu_seconds);
+  out += " shuffle_sort_cpu_s=" + std::to_string(shuffle_sort_seconds);
+  out += " reduce_cpu_s=" + std::to_string(reduce_seconds);
+  out += " reduce_phase_wall_s=" + std::to_string(reduce_phase_wall_seconds);
   out += " total_s=" + std::to_string(total_seconds);
   return out;
 }
@@ -52,9 +58,15 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   for (size_t i = 0; i < other.reducer_groups.size(); ++i) {
     reducer_groups[i] += other.reducer_groups[i];
   }
+  spilled_runs += other.spilled_runs;
+  spilled_records += other.spilled_records;
+  task_failures += other.task_failures;
+  task_retries += other.task_retries;
   map_seconds += other.map_seconds;
+  map_cpu_seconds += other.map_cpu_seconds;
   shuffle_sort_seconds += other.shuffle_sort_seconds;
   reduce_seconds += other.reduce_seconds;
+  reduce_phase_wall_seconds += other.reduce_phase_wall_seconds;
   total_seconds += other.total_seconds;
 }
 

@@ -3,6 +3,22 @@
 // Execution metrics for one MapReduce run. The paper's experiments reduce
 // to per-phase work and the per-reducer workload distribution; every
 // benchmark and the skew handler read these counters.
+//
+// Timing semantics — the engine reports both wall-clock and cpu-sum
+// variants because virtual tasks outnumber worker threads:
+//
+//   * wall-clock (`map_seconds`, `reduce_phase_wall_seconds`,
+//     `total_seconds`): elapsed time of the phase in this process;
+//   * cpu-sum (`map_cpu_seconds`, `shuffle_sort_seconds`,
+//     `reduce_seconds`): summed across (virtual) tasks, i.e. the serial
+//     work a cluster would distribute; can exceed wall time whenever
+//     tasks run in parallel and includes the work of retried attempts.
+//
+// The `bench/fig4*` harnesses print the wall-clock `total_seconds` for
+// reference and compute modeled cluster response times from
+// `reducer_pairs` (see mr/cluster_model.h); none of them consume the
+// cpu-sum fields directly — those calibrate the cluster model's
+// per-record constants and feed the Fig 4(d)-style phase breakdowns.
 
 #ifndef CASM_MR_METRICS_H_
 #define CASM_MR_METRICS_H_
@@ -28,11 +44,20 @@ struct MapReduceMetrics {
   int64_t spilled_runs = 0;
   int64_t spilled_records = 0;
 
-  // Wall-clock phase timings of the in-process engine.
-  double map_seconds = 0;
-  double shuffle_sort_seconds = 0;  // grouping pairs by key per reducer
-  double reduce_seconds = 0;        // user reduce fn (local sort + eval)
-  double total_seconds = 0;
+  /// Task attempts that failed (injected faults, non-OK statuses, or
+  /// exceptions thrown by user map/reduce functions).
+  int64_t task_failures = 0;
+  /// Attempts re-run after a failure; a run that succeeds with retries
+  /// produces results identical to a fault-free run.
+  int64_t task_retries = 0;
+
+  // Phase timings (see the header comment for wall vs cpu-sum semantics).
+  double map_seconds = 0;      // wall clock of the map phase
+  double map_cpu_seconds = 0;  // summed across mapper task attempts
+  double shuffle_sort_seconds = 0;  // cpu-sum: grouping pairs per reducer
+  double reduce_seconds = 0;        // cpu-sum: user reduce fn per reducer
+  double reduce_phase_wall_seconds = 0;  // wall clock of shuffle+sort+reduce
+  double total_seconds = 0;              // wall clock of the whole run
 
   int64_t MaxReducerPairs() const;
   int64_t TotalGroups() const;

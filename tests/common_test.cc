@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,14 +150,66 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
 TEST(ThreadPoolTest, ParallelForVisitsEachIndexOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> visits(257);
-  pool.ParallelFor(visits.size(), [&](size_t i) { ++visits[i]; });
+  EXPECT_TRUE(
+      pool.ParallelFor(visits.size(), [&](size_t i) { ++visits[i]; }).ok());
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
 TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
   ThreadPool pool(2);
-  pool.Wait();
-  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_TRUE(pool.ParallelFor(0, [](size_t) { FAIL(); }).ok());
+}
+
+TEST(ThreadPoolTest, SubmittedTaskExceptionIsCapturedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ++ran; });
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  pool.Submit([&] { ++ran; });
+  Status status = pool.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("task boom"), std::string::npos);
+  EXPECT_EQ(ran.load(), 2);  // the failure did not cancel sibling tasks
+  // The error was consumed; the pool is reusable and clean afterwards.
+  pool.Submit([&] { ++ran; });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsCapturedToo) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  Status status = pool.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, ParallelForReturnsFirstFailureAndStopsEarly) {
+  ThreadPool pool(2);
+  std::atomic<int> visited{0};
+  Status status = pool.ParallelFor(100000, [&](size_t i) {
+    if (i == 17) throw std::runtime_error("item boom");
+    ++visited;
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("item boom"), std::string::npos);
+  // Fail-fast: the remaining indices were abandoned, not all 100k run.
+  EXPECT_LT(visited.load(), 100000);
+  // The pool survives and later loops run clean.
+  std::atomic<int> after{0};
+  EXPECT_TRUE(pool.ParallelFor(64, [&](size_t) { ++after; }).ok());
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForWithFarMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  constexpr size_t kN = 50000;
+  std::atomic<int64_t> sum{0};
+  ASSERT_TRUE(
+      pool.ParallelFor(kN, [&](size_t i) { sum += static_cast<int64_t>(i); })
+          .ok());
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kN * (kN - 1) / 2));
 }
 
 }  // namespace

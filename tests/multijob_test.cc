@@ -113,6 +113,44 @@ TEST(MultiJobTest, RandomWorkflowsAgreeWithReference) {
   }
 }
 
+TEST(MultiJobTest, TaskFaultsAreRetriedAcrossEveryJob) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ2);
+  Table table = PaperUniformTable(1500, 99);
+  Result<MultiJobResult> clean = EvaluateMultiJob(wf, table, EvalOpts());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Fail the first attempt of map task 0 of every job; each job must
+  // retry and the final results must be unchanged.
+  ParallelEvalOptions opts = EvalOpts();
+  opts.fault_injector = [](MapReduceTaskPhase phase, int task, int attempt) {
+    return phase == MapReduceTaskPhase::kMap && task == 0 && attempt == 1
+               ? Status::Internal("injected per-job fault")
+               : Status::OK();
+  };
+  Result<MultiJobResult> faulty = EvaluateMultiJob(wf, table, opts);
+  ASSERT_TRUE(faulty.ok()) << faulty.status();
+  EXPECT_EQ(faulty->total_metrics.task_retries, faulty->jobs);
+  Status match = CompareResultSets(clean->results, faulty->results, 0.0);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+}
+
+TEST(MultiJobTest, ExhaustedRetriesNameTheFailingJob) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ2);
+  Table table = PaperUniformTable(500, 7);
+  ParallelEvalOptions opts = EvalOpts();
+  opts.max_task_attempts = 1;
+  opts.fault_injector = [](MapReduceTaskPhase phase, int task, int) {
+    return phase == MapReduceTaskPhase::kReduce && task == 2
+               ? Status::Internal("dead reducer slot")
+               : Status::OK();
+  };
+  Result<MultiJobResult> result = EvaluateMultiJob(wf, table, opts);
+  ASSERT_FALSE(result.ok());
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("multi-job evaluation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reduce task 2"), std::string::npos) << msg;
+}
+
 TEST(MultiJobTest, RejectsPartialPhases) {
   Workflow wf = MakePaperQuery(PaperQuery::kQ1);
   Table table = PaperUniformTable(100, 1);

@@ -240,6 +240,81 @@ TEST(ParallelEvalTest, EmptyTableYieldsEmptyResults) {
   EXPECT_EQ(result->results.TotalResults(), 0);
 }
 
+TEST(ParallelEvalTest, InjectedTaskFaultsRetryToByteIdenticalResults) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 3000, 21);
+  ExecutionPlan plan = DerivedPlan(wf, 2);
+
+  Result<ParallelEvalResult> clean =
+      EvaluateParallel(wf, table, plan, EvalOpts(3, 4));
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->metrics.task_retries, 0);
+
+  ParallelEvalOptions opts = EvalOpts(3, 4);
+  opts.fault_injector = [](MapReduceTaskPhase phase, int task, int attempt) {
+    if (phase == MapReduceTaskPhase::kMap && task == 0 && attempt == 1) {
+      return Status::Internal("injected mapper fault");
+    }
+    if (phase == MapReduceTaskPhase::kReduce && task == 2 && attempt == 1) {
+      return Status::Internal("injected reducer fault");
+    }
+    return Status::OK();
+  };
+  Result<ParallelEvalResult> faulty = EvaluateParallel(wf, table, plan, opts);
+  ASSERT_TRUE(faulty.ok()) << faulty.status();
+  EXPECT_EQ(faulty->metrics.task_failures, 2);
+  EXPECT_EQ(faulty->metrics.task_retries, 2);
+  EXPECT_EQ(faulty->metrics.emitted_pairs, clean->metrics.emitted_pairs);
+  EXPECT_TRUE(CompareResultSets(clean->results, faulty->results, 0.0).ok())
+      << CompareResultSets(clean->results, faulty->results, 0.0).ToString();
+}
+
+TEST(ParallelEvalTest, PersistentFaultWithoutRetriesFailsCleanly) {
+  SchemaPtr schema = TestSchema();
+  Workflow wf = WindowWorkflow(schema);
+  Table table = GenerateUniformTable(schema, 1000, 4);
+  ParallelEvalOptions opts = EvalOpts(2, 3);
+  opts.max_task_attempts = 1;
+  opts.fault_injector = [](MapReduceTaskPhase phase, int task, int) {
+    return phase == MapReduceTaskPhase::kReduce && task == 1
+               ? Status::Internal("persistent reducer fault")
+               : Status::OK();
+  };
+  Result<ParallelEvalResult> result =
+      EvaluateParallel(wf, table, DerivedPlan(wf, 1), opts);
+  ASSERT_FALSE(result.ok());
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("reduce task 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("persistent reducer fault"), std::string::npos) << msg;
+}
+
+TEST(ParallelEvalTest, EarlyAggregationCountsMergedPartialsNotRecords) {
+  SchemaPtr schema = TestSchema();
+  WorkflowBuilder b(schema);
+  b.AddBasic("sum", Gran(schema, "value", "quad"), AggregateFn::kSum, "X");
+  Workflow wf = std::move(b).Build().value();
+  Table table = GenerateUniformTable(schema, 4000, 17);
+  ExecutionPlan plan = DerivedPlan(wf, 1);
+
+  Result<ParallelEvalResult> raw =
+      EvaluateParallel(wf, table, plan, EvalOpts(3, 4));
+  ASSERT_TRUE(raw.ok());
+  // Raw redistribution scans every (replicated) record locally.
+  EXPECT_EQ(raw->local_stats.records, raw->metrics.emitted_pairs);
+  EXPECT_EQ(raw->local_stats.merged_partials, 0);
+
+  plan.early_aggregation = true;
+  Result<ParallelEvalResult> early =
+      EvaluateParallel(wf, table, plan, EvalOpts(3, 4));
+  ASSERT_TRUE(early.ok());
+  // The early-agg path merges shuffled partial states; it must not claim
+  // them as scanned records (the old bug inflated `records` here).
+  EXPECT_EQ(early->local_stats.records, 0);
+  EXPECT_EQ(early->local_stats.merged_partials,
+            early->metrics.emitted_pairs);
+}
+
 TEST(ParallelEvalTest, NominalAttributesDistributeCorrectly) {
   SchemaPtr schema = MakeSchemaOrDie(
       {Hierarchy::Nominal("K", 12,
