@@ -19,10 +19,19 @@
 // Results are unchanged (the engine replays the failed attempts); the
 // knob exists to measure the retry path's overhead and to keep the
 // fault-tolerant substrate exercised by the figure harnesses.
+//
+// Straggler injection: set CASM_BENCH_SLOW_TASKS=<seconds> (a positive
+// float) to delay every job's first map task by that many seconds on its
+// primary execution, with speculative execution enabled so a backup
+// recovers the tail. Results are unchanged (the slowed primary loses the
+// race and its output is discarded); the knob keeps the straggler
+// defenses exercised by the same harnesses that exercise retries. See
+// bench/fig_straggler.cc for the dedicated tail-latency experiment.
 
 #ifndef CASM_BENCH_BENCH_UTIL_H_
 #define CASM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -69,6 +78,15 @@ inline bool InjectFaults() {
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
+/// Injected straggler latency in seconds from CASM_BENCH_SLOW_TASKS
+/// (0 = none).
+inline double SlowTaskSeconds() {
+  const char* env = std::getenv("CASM_BENCH_SLOW_TASKS");
+  if (env == nullptr) return 0;
+  const double seconds = std::atof(env);
+  return seconds > 0 ? seconds : 0;
+}
+
 inline RunOutcome RunPlan(const Workflow& wf, const Table& table,
                           const ExecutionPlan& plan,
                           const ClusterConfig& cluster,
@@ -84,6 +102,22 @@ inline RunOutcome RunPlan(const Workflow& wf, const Table& table,
       }
       return Status::OK();
     };
+  }
+  if (const double slow = SlowTaskSeconds(); slow > 0) {
+    // Slow the first map task's primary execution; speculation launches a
+    // fast backup that wins, so results are unchanged. The backup needs a
+    // spare worker to overlap the (CPU-idle) sleeping straggler, so make
+    // sure the pool has a few even on single-core machines.
+    eval.num_threads = std::max(eval.num_threads, 4);
+    const int max_attempts = eval.max_task_attempts;
+    eval.slow_task_injector = [slow, max_attempts](MapReduceTaskPhase phase,
+                                                   int task, int attempt) {
+      const bool primary = attempt <= max_attempts;
+      return phase == MapReduceTaskPhase::kMap && task == 0 && primary ? slow
+                                                                       : 0.0;
+    };
+    eval.speculative_execution = true;
+    eval.speculation_min_runtime_seconds = std::min(0.05, slow / 4);
   }
   Result<ParallelEvalResult> result = EvaluateParallel(wf, table, plan, eval);
   CASM_CHECK(result.ok()) << result.status().ToString();

@@ -7,6 +7,11 @@
 # suite under AddressSanitizer (the fault-tolerance substrate retries
 # tasks and replays emit buffers — ASan guards the replay paths against
 # use-after-free/overflow regressions). Set CASM_SKIP_ASAN=1 to skip it.
+#
+# A third configuration does the same under ThreadSanitizer (the
+# straggler substrate runs concurrent executions of one task with
+# cooperative cancellation and an output-ownership race — TSan guards the
+# engine's cross-thread handoffs). Set CASM_SKIP_TSAN=1 to skip it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +25,14 @@ if [ "${CASM_SKIP_ASAN:-0}" != "1" ]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer"
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [ "${CASM_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure
 fi
 
 for b in build/bench/*; do

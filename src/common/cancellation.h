@@ -1,0 +1,103 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Cooperative cancellation for long-running parallel work. A
+// CancellationToken is a one-shot latch that work can poll cheaply
+// (`cancelled()` is one relaxed atomic load on the fast path); once
+// tripped it stays tripped and `status()` reports why — an explicit
+// Cancel() or an expired deadline.
+//
+// Tokens form chains: a token constructed with a parent observes the
+// parent's cancellation too, so a job-level token (deadline, caller
+// abort) cancels every per-attempt token derived from it while one
+// attempt can still be cancelled individually (e.g. the loser of a
+// speculative-execution race) without touching its siblings.
+//
+// Cancellation is cooperative by design: nothing is interrupted
+// preemptively. Loops doing unbounded work must poll a token every few
+// thousand records and return early with `status()`; the MapReduce
+// engine, the parallel evaluator's map/reduce functions, and the
+// sort/scan evaluator's scans all do.
+
+#ifndef CASM_COMMON_CANCELLATION_H_
+#define CASM_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace casm {
+
+/// One-shot cancellation latch with an optional deadline and an optional
+/// parent. Thread-safe; not copyable or movable (share by pointer).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// A child token: also cancelled whenever `parent` is. `parent` may be
+  /// null and must outlive this token otherwise.
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Trips the token (idempotent; a deadline trip is not overwritten).
+  void Cancel() const { TripIfLive(kByCancel); }
+
+  /// Arms a wall-clock deadline; any later `cancelled()` poll past the
+  /// deadline trips the token with DeadlineExceeded. Must be called
+  /// before the token is shared with other threads.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// True once this token (or an ancestor) is cancelled or past its
+  /// deadline. Polling is what enforces deadlines — cheap enough for
+  /// every few thousand records of a scan.
+  bool cancelled() const {
+    if (state_.load(std::memory_order_acquire) != kLive) return true;
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      TripIfLive(kByDeadline);
+      return true;
+    }
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// OK while live; Cancelled or DeadlineExceeded once tripped (the
+  /// reason of the nearest tripped token in the chain).
+  Status status() const {
+    if (!cancelled()) return Status::OK();
+    const int state = state_.load(std::memory_order_acquire);
+    if (state == kLive && parent_ != nullptr) return parent_->status();
+    return state == kByDeadline
+               ? Status::DeadlineExceeded("deadline exceeded")
+               : Status::Cancelled("cancelled");
+  }
+
+ private:
+  static constexpr int kLive = 0;
+  static constexpr int kByCancel = 1;
+  static constexpr int kByDeadline = 2;
+
+  void TripIfLive(int reason) const {
+    int expected = kLive;
+    state_.compare_exchange_strong(expected, reason,
+                                   std::memory_order_acq_rel);
+  }
+
+  mutable std::atomic<int> state_{kLive};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancellationToken* parent_ = nullptr;
+};
+
+/// Sleeps for `seconds`, polling `token` (may be null) every fraction of
+/// a millisecond so injected latency stays cancellable. Returns true if
+/// the full duration elapsed, false if the token tripped first.
+bool InterruptibleSleep(double seconds, const CancellationToken* token);
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_CANCELLATION_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns the canonical spelling of `code` (e.g. "INVALID_ARGUMENT").
@@ -65,6 +67,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +91,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// True for the cooperative-cancellation outcomes (Cancelled,
+/// DeadlineExceeded). These are not task *failures*: retry loops must
+/// not retry them and failure counters must not count them.
+inline bool IsCancellation(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
 
 }  // namespace casm
 

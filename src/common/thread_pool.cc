@@ -53,16 +53,26 @@ Status ThreadPool::Wait() {
 }
 
 Status ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  return ParallelFor(n, fn, nullptr);
+}
+
+Status ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                               const CancellationToken* cancel) {
   if (n == 0) return Status::OK();
   // Chunk so that each worker receives a handful of tasks; a shared atomic
   // cursor inside each chunked task balances uneven per-item cost. On the
-  // first failure the cursor is pushed past n so the remaining indices are
-  // abandoned (fail-fast) without tearing down the pool.
+  // first failure (or cancellation) the cursor is pushed past n so the
+  // remaining indices are abandoned (fail-fast) without tearing down the
+  // pool.
   auto cursor = std::make_shared<std::atomic<size_t>>(0);
   size_t tasks = std::min(n, threads_.size() * 4);
   for (size_t t = 0; t < tasks; ++t) {
-    Submit([this, cursor, n, &fn] {
+    Submit([this, cursor, n, cancel, &fn] {
       for (size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          cursor->store(n);
+          return;
+        }
         try {
           fn(i);
         } catch (const std::exception& e) {
@@ -79,7 +89,11 @@ Status ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) 
       }
     });
   }
-  return Wait();
+  Status error = Wait();
+  if (error.ok() && cancel != nullptr && cancel->cancelled()) {
+    return cancel->status();
+  }
+  return error;
 }
 
 void ThreadPool::WorkerLoop() {

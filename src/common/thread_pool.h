@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 
 namespace casm {
@@ -53,6 +54,14 @@ class ThreadPool {
   /// invocation throws, remaining indices are abandoned (fail-fast) and the
   /// first failure is returned; indices already dispatched still complete.
   Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// As above, but also polls `cancel` (may be null) before every index:
+  /// once the token trips, undispatched indices are abandoned and the
+  /// token's status (Cancelled / DeadlineExceeded) is returned — unless a
+  /// task failure happened first, which takes precedence. Cancellation is
+  /// cooperative: indices already running are not interrupted.
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                     const CancellationToken* cancel);
 
  private:
   void WorkerLoop();

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +14,12 @@
 
 namespace casm {
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// Prefixes a failed job's status with which measure/job it belonged to;
 /// the engine message below it names the failing phase and task.
@@ -40,10 +47,10 @@ Status RunBasicJob(const Workflow& wf, int index, const Table& table,
   spec.num_reducers = options.num_reducers;
   spec.key_width = num_attrs;
   spec.value_width = 1;
-  spec.max_task_attempts = options.max_task_attempts;
-  spec.fault_injector = options.fault_injector;
+  ApplyEngineOptions(options, &spec);
   spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
     for (int64_t r = begin; r < end; ++r) {
+      if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
       const int64_t* row = table.row(r);
       Coords coords = RegionOfRecord(schema, m.granularity, row);
       int64_t value = row[m.field];
@@ -53,6 +60,7 @@ Status RunBasicJob(const Workflow& wf, int index, const Table& table,
   spec.reduce_fn = [&](int reducer, const GroupView& group) {
     Accumulator acc(m.fn);
     for (int64_t i = 0; i < group.size(); ++i) {
+      if ((i & 4095) == 0 && group.cancelled()) return;
       acc.Add(static_cast<double>(group.value(i)[0]));
     }
     Coords coords(group.key(), group.key() + num_attrs);
@@ -108,11 +116,11 @@ Status RunCompositeJob(const Workflow& wf, int index,
   spec.num_reducers = options.num_reducers;
   spec.key_width = num_attrs;
   spec.value_width = row_width;  // [edge, target-or-parent coords, bits]
-  spec.max_task_attempts = options.max_task_attempts;
-  spec.fault_injector = options.fault_injector;
+  ApplyEngineOptions(options, &spec);
   spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
     std::vector<int64_t> value(static_cast<size_t>(row_width));
     for (int64_t r = begin; r < end; ++r) {
+      if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
       const int64_t* row = input.data() + r * row_width;
       const size_t ei = static_cast<size_t>(row[0]);
       const MeasureEdge& e = m.edges[ei];
@@ -166,6 +174,7 @@ Status RunCompositeJob(const Workflow& wf, int index,
     std::vector<std::vector<std::pair<Coords, double>>> contributions(
         m.edges.size());
     for (int64_t i = 0; i < group.size(); ++i) {
+      if ((i & 4095) == 0 && group.cancelled()) return;
       const int64_t* v = group.value(i);
       const size_t ei = static_cast<size_t>(v[0]);
       Coords coords(v + 1, v + 1 + num_attrs);
@@ -248,6 +257,7 @@ Status RunCompositeJob(const Workflow& wf, int index,
       }
     }
 
+    if (group.cancelled()) return;
     std::unique_lock<std::mutex> lock(mu);
     for (auto& [coords, value] : local) out.emplace(coords, value);
   };
@@ -271,12 +281,28 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
   MapReduceEngine engine(options.num_threads);
   MultiJobResult out;
   out.results = MeasureResultSet(wf.num_measures());
+  const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < wf.num_measures(); ++i) {
+    // The caller's deadline budgets the whole job sequence: each job gets
+    // what the previous jobs left over, and a sequence that exhausts the
+    // budget between jobs fails here rather than starting one that cannot
+    // meaningfully finish.
+    ParallelEvalOptions job_options = options;
+    if (options.deadline_seconds > 0) {
+      const double remaining = options.deadline_seconds - SecondsSince(start);
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(
+            "multi-job evaluation: deadline exceeded after " +
+            std::to_string(out.jobs) + " of " +
+            std::to_string(wf.num_measures()) + " jobs");
+      }
+      job_options.deadline_seconds = remaining;
+    }
     if (wf.measure(i).op == MeasureOp::kAggregateRecords) {
-      CASM_RETURN_IF_ERROR(RunBasicJob(wf, i, table, options, &engine,
+      CASM_RETURN_IF_ERROR(RunBasicJob(wf, i, table, job_options, &engine,
                                        &out.results, &out.total_metrics));
     } else {
-      CASM_RETURN_IF_ERROR(RunCompositeJob(wf, i, options, &engine,
+      CASM_RETURN_IF_ERROR(RunCompositeJob(wf, i, job_options, &engine,
                                            &out.results, &out.total_metrics));
     }
     ++out.jobs;

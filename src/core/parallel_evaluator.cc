@@ -69,6 +69,21 @@ MeasureResultSet FilterOwned(const Workflow& wf,
 
 }  // namespace
 
+void ApplyEngineOptions(const ParallelEvalOptions& options,
+                        MapReduceSpec* spec) {
+  spec->max_task_attempts = options.max_task_attempts;
+  spec->fault_injector = options.fault_injector;
+  spec->deadline_seconds = options.deadline_seconds;
+  spec->cancel = options.cancel;
+  spec->speculative_execution = options.speculative_execution;
+  spec->speculation_latency_multiple = options.speculation_latency_multiple;
+  spec->speculation_min_completed_fraction =
+      options.speculation_min_completed_fraction;
+  spec->speculation_min_runtime_seconds =
+      options.speculation_min_runtime_seconds;
+  spec->slow_task_injector = options.slow_task_injector;
+}
+
 Result<ParallelEvalResult> EvaluateParallel(
     const Workflow& wf, const Table& table, const ExecutionPlan& plan,
     const ParallelEvalOptions& options) {
@@ -107,8 +122,7 @@ Result<ParallelEvalResult> EvaluateParallel(
   spec.map_only = options.phase == ParallelEvalPhase::kMapOnly;
   spec.skip_reduce = options.phase == ParallelEvalPhase::kShuffleOnly;
   spec.reducer_memory_limit_pairs = options.reducer_memory_limit_pairs;
-  spec.max_task_attempts = options.max_task_attempts;
-  spec.fault_injector = options.fault_injector;
+  ApplyEngineOptions(options, &spec);
 
   DistributedFile::Assignment dfs_assignment;
   if (options.input_file != nullptr) {
@@ -131,6 +145,10 @@ Result<ParallelEvalResult> EvaluateParallel(
       std::vector<int64_t> g(static_cast<size_t>(num_attrs));
       std::vector<int64_t> key(static_cast<size_t>(num_attrs));
       for (int64_t r = begin; r < end; ++r) {
+        // Cooperative cancellation (deadline, lost speculation race): the
+        // engine discards a cancelled attempt's output, so returning with
+        // a partially-emitted split is safe.
+        if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
         const int64_t* row = table.row(r);
         for (int a = 0; a < num_attrs; ++a) {
           g[static_cast<size_t>(a)] = schema.attribute(a).MapFromFinest(
@@ -152,9 +170,12 @@ Result<ParallelEvalResult> EvaluateParallel(
           options.phase == ParallelEvalPhase::kLocalSortOnly
               ? LocalEvalPhase::kSortOnly
               : LocalEvalPhase::kFull;
-      MeasureResultSet block_results =
-          local_eval.Evaluate(rows.data(), group.size(),
-                              plan.combined_sort, local_phase, &stats);
+      MeasureResultSet block_results = local_eval.Evaluate(
+          rows.data(), group.size(), plan.combined_sort, local_phase, &stats,
+          group.cancellation_token());
+      // A cancelled attempt's partial results must never reach the sink;
+      // the surrounding run is failing with Cancelled/DeadlineExceeded.
+      if (group.cancelled()) return;
       if (options.phase != ParallelEvalPhase::kFull) {
         sink.Merge(MeasureResultSet(wf.num_measures()), stats, 0);
         return;
@@ -182,6 +203,7 @@ Result<ParallelEvalResult> EvaluateParallel(
       std::vector<int64_t> key(static_cast<size_t>(num_attrs));
       std::vector<int64_t> group_key;
       for (int64_t r = begin; r < end; ++r) {
+        if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
         const int64_t* row = table.row(r);
         for (int a = 0; a < num_attrs; ++a) {
           g[static_cast<size_t>(a)] = schema.attribute(a).MapFromFinest(
@@ -232,6 +254,7 @@ Result<ParallelEvalResult> EvaluateParallel(
           static_cast<size_t>(wf.num_measures()));
       double partial[Accumulator::kPartialSize];
       for (int64_t i = 0; i < group.size(); ++i) {
+        if ((i & 4095) == 0 && group.cancelled()) return;
         const int64_t* v = group.value(i);
         const int mi = static_cast<int>(v[0]);
         Coords coords(v + 1, v + 1 + num_attrs);
@@ -256,6 +279,7 @@ Result<ParallelEvalResult> EvaluateParallel(
         }
       }
       for (int i = 0; i < wf.num_measures(); ++i) {
+        if (group.cancelled()) return;
         if (wf.measure(i).op != MeasureOp::kAggregateRecords) {
           DeriveCompositeMeasure(wf, i, &block_results);
         }

@@ -53,7 +53,31 @@ struct ParallelEvalOptions {
   /// Optional deterministic fault injection forwarded to the engine
   /// (tests, chaos benches). See mr/engine.h.
   MapReduceFaultInjector fault_injector;
+
+  // ---- Straggler resilience, forwarded to the engine (see mr/engine.h
+  // for the full semantics of each knob).
+
+  /// Wall-clock budget for the evaluation; <= 0 = none. On expiry the
+  /// evaluation fails with DeadlineExceeded instead of hanging. For
+  /// EvaluateMultiJob this is the budget for the *whole* job sequence.
+  double deadline_seconds = 0;
+  /// Optional external cancellation token. Not owned.
+  const CancellationToken* cancel = nullptr;
+  /// Enables speculative backup executions for straggling tasks.
+  bool speculative_execution = false;
+  double speculation_latency_multiple = 4.0;
+  double speculation_min_completed_fraction = 0.5;
+  double speculation_min_runtime_seconds = 0.05;
+  /// Optional deterministic latency injection (tests, chaos benches).
+  MapReduceSlowTaskInjector slow_task_injector;
 };
+
+/// Copies the robustness knobs of `options` (retry budget, injectors,
+/// deadline, cancellation, speculation policy) into `spec`. Shared by
+/// EvaluateParallel and the multi-job evaluator so the two paths cannot
+/// drift.
+void ApplyEngineOptions(const ParallelEvalOptions& options,
+                        MapReduceSpec* spec);
 
 struct ParallelEvalResult {
   MeasureResultSet results;       // empty unless phase == kFull

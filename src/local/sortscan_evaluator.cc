@@ -124,10 +124,9 @@ bool SortScanEvaluator::RowLess(const int64_t* a, const int64_t* b) const {
   return false;
 }
 
-MeasureResultSet SortScanEvaluator::Evaluate(const int64_t* rows, int64_t n,
-                                             bool assume_sorted,
-                                             LocalEvalPhase phase,
-                                             LocalEvalStats* stats) const {
+MeasureResultSet SortScanEvaluator::Evaluate(
+    const int64_t* rows, int64_t n, bool assume_sorted, LocalEvalPhase phase,
+    LocalEvalStats* stats, const CancellationToken* cancel) const {
   const Schema& schema = *wf_->schema();
   const int width = schema.num_attributes();
   MeasureResultSet results(wf_->num_measures());
@@ -147,6 +146,7 @@ MeasureResultSet SortScanEvaluator::Evaluate(const int64_t* rows, int64_t n,
   }
 
   auto eval_start = std::chrono::steady_clock::now();
+  if (cancel != nullptr && cancel->cancelled()) return results;
   if (phase == LocalEvalPhase::kFull) {
     // One scan over the sorted records feeds every basic measure: the
     // streamable ones through group-change detection, the rest through
@@ -171,6 +171,12 @@ MeasureResultSet SortScanEvaluator::Evaluate(const int64_t* rows, int64_t n,
     }
 
     for (int64_t k = 0; k < n; ++k) {
+      // Cooperative cancellation: cheap enough at this stride to keep the
+      // scan's per-record cost unchanged, frequent enough that deadlines
+      // interrupt long scans promptly.
+      if ((k & 4095) == 0 && cancel != nullptr && cancel->cancelled()) {
+        return results;
+      }
       const int64_t* row = rows + index[static_cast<size_t>(k)] * width;
       for (StreamState& s : streams) {
         const Measure& m = wf_->measure(s.measure);
@@ -211,6 +217,7 @@ MeasureResultSet SortScanEvaluator::Evaluate(const int64_t* rows, int64_t n,
 
     // Composite measures, in dependency (index) order.
     for (int i = 0; i < wf_->num_measures(); ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return results;
       if (wf_->measure(i).op != MeasureOp::kAggregateRecords) {
         DeriveCompositeMeasure(*wf_, i, &results);
       }

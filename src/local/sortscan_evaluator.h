@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "local/measure_table.h"
 #include "measure/workflow.h"
 
@@ -76,10 +77,15 @@ class SortScanEvaluator {
 
   /// Evaluates all measures over `n` contiguous row-major records.
   /// If `assume_sorted`, records are already in RowLess order and the sort
-  /// is skipped. `stats` may be null.
+  /// is skipped. `stats` may be null. A non-null `cancel` token is polled
+  /// every few thousand records and between stages; when it trips, the
+  /// scan stops early and the (incomplete) results so far are returned —
+  /// the caller is expected to discard them, as the surrounding run is
+  /// failing with Cancelled/DeadlineExceeded anyway.
   MeasureResultSet Evaluate(const int64_t* rows, int64_t n,
                             bool assume_sorted, LocalEvalPhase phase,
-                            LocalEvalStats* stats) const;
+                            LocalEvalStats* stats,
+                            const CancellationToken* cancel = nullptr) const;
 
  private:
   void ChoosePlan();

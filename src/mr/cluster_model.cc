@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -30,6 +31,39 @@ double ModeledResponseSeconds(const MapReduceMetrics& metrics,
         worst_reducer, ReducerCostSeconds(static_cast<double>(pairs), params));
   }
   return t + worst_reducer;
+}
+
+double ModeledStragglerResponseSeconds(const MapReduceMetrics& metrics,
+                                       int num_map_slots,
+                                       const ClusterCostParams& params,
+                                       bool with_speculation) {
+  CASM_CHECK_GE(num_map_slots, 1);
+  CASM_CHECK_GE(params.straggler_slowdown, 1.0);
+  const double map_records = static_cast<double>(metrics.input_rows) /
+                             static_cast<double>(num_map_slots);
+  const double base =
+      params.startup_seconds + map_records * params.map_seconds_per_record;
+
+  std::vector<double> costs;
+  costs.reserve(metrics.reducer_pairs.size());
+  for (int64_t pairs : metrics.reducer_pairs) {
+    costs.push_back(ReducerCostSeconds(static_cast<double>(pairs), params));
+  }
+  if (costs.empty()) return base;
+  const double worst = *std::max_element(costs.begin(), costs.end());
+  std::nth_element(costs.begin(), costs.begin() + costs.size() / 2,
+                   costs.end());
+  const double median = costs[costs.size() / 2];
+
+  // Worst case for the tail: the heaviest reducer is the one placed on
+  // the slow node.
+  const double slowed = params.straggler_slowdown * worst;
+  if (!with_speculation) return base + slowed;
+  // The backup starts once the straggler has overrun the detection
+  // threshold, then runs at full speed on a healthy node.
+  const double recovered =
+      params.speculation_detection_multiple * median + worst;
+  return base + std::min(slowed, recovered);
 }
 
 }  // namespace casm

@@ -31,6 +31,14 @@ struct ClusterCostParams {
   /// Fixed per-job startup (task scheduling, replica lookup).
   double startup_seconds = 5.0;
 
+  // Straggler modeling (see ModeledStragglerResponseSeconds): one node
+  // runs `straggler_slowdown`x slower than its peers (1.0 = healthy
+  // cluster), and the scheduler launches a backup for a task once it has
+  // run `speculation_detection_multiple`x the median task duration — the
+  // engine's own speculation policy knob, mirrored into the model.
+  double straggler_slowdown = 1.0;
+  double speculation_detection_multiple = 4.0;
+
   static ClusterCostParams Default() { return {}; }
 };
 
@@ -45,6 +53,19 @@ double ReducerCostSeconds(double pairs, const ClusterCostParams& params);
 double ModeledResponseSeconds(const MapReduceMetrics& metrics,
                               int num_map_slots,
                               const ClusterCostParams& params);
+
+/// Modeled response time when the heaviest reducer lands on a node running
+/// `params.straggler_slowdown`x slower than its peers. Without speculation
+/// the job waits the full slowed-down reducer out; with speculation the
+/// scheduler detects the straggler after
+/// `params.speculation_detection_multiple`x the *median* reducer cost and
+/// re-runs the task at full speed on a healthy node, so the tail is
+/// min(slowed cost, detection delay + healthy cost). With
+/// straggler_slowdown == 1 both variants equal ModeledResponseSeconds.
+double ModeledStragglerResponseSeconds(const MapReduceMetrics& metrics,
+                                       int num_map_slots,
+                                       const ClusterCostParams& params,
+                                       bool with_speculation);
 
 }  // namespace casm
 

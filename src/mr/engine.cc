@@ -3,13 +3,18 @@
 #include "mr/engine.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <exception>
 #include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "common/cancellation.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "mr/external_sort.h"
@@ -30,6 +35,15 @@ int CompareKeys(const int64_t* a, const int64_t* b, int width) {
   return 0;
 }
 
+/// Median of `v` (0 for an empty vector); reorders `v`.
+double MedianOf(std::vector<double>* v) {
+  if (v->empty()) return 0;
+  const size_t mid = v->size() / 2;
+  std::nth_element(v->begin(), v->begin() + static_cast<ptrdiff_t>(mid),
+                   v->end());
+  return (*v)[mid];
+}
+
 /// Shared failure/retry accounting across a job's task attempts.
 struct RetryCounters {
   std::mutex mu;
@@ -37,26 +51,42 @@ struct RetryCounters {
   int64_t retries = 0;
 };
 
-/// Runs one task as a sequence of attempts. Each attempt first consults the
-/// fault injector, then runs `attempt_body` with exceptions converted to
-/// Status. A failed attempt is retried while the retry budget allows and
-/// the attempt produced no user-visible output (`*output_started` stays
-/// false); otherwise the failure is returned, prefixed with the phase and
-/// task id.
+/// Runs one task execution as a sequence of attempts. Each attempt first
+/// polls the cancellation token, sleeps any injected latency
+/// (cancellably), consults the fault injector, then runs `attempt_body`
+/// with exceptions converted to Status. A failed attempt is retried while
+/// the retry budget allows and the attempt produced no user-visible
+/// output (`*output_started` stays false); otherwise the failure is
+/// returned, prefixed with the phase and task id. A cancelled attempt
+/// (Cancelled / DeadlineExceeded) is neither a failure nor retriable —
+/// its status is returned as-is for the phase runner to classify.
+/// `attempt_offset` shifts the attempt numbers seen by the injectors so a
+/// speculative backup execution (offset = max_task_attempts) is
+/// distinguishable from the primary (offset = 0).
 Status RunTaskWithRetry(
     const MapReduceSpec& spec, MapReduceTaskPhase phase, int task,
+    int attempt_offset, const CancellationToken* token,
     RetryCounters* counters,
     const std::function<Status(int attempt, bool* output_started)>&
         attempt_body) {
   for (int attempt = 1;; ++attempt) {
+    if (token != nullptr && token->cancelled()) return token->status();
+    const int injector_attempt = attempt_offset + attempt;
     bool output_started = false;
     Status status;
+    if (spec.slow_task_injector) {
+      const double delay =
+          spec.slow_task_injector(phase, task, injector_attempt);
+      if (delay > 0 && !InterruptibleSleep(delay, token)) {
+        return token->status();
+      }
+    }
     if (spec.fault_injector) {
-      status = spec.fault_injector(phase, task, attempt);
+      status = spec.fault_injector(phase, task, injector_attempt);
     }
     if (status.ok()) {
       try {
-        status = attempt_body(attempt, &output_started);
+        status = attempt_body(injector_attempt, &output_started);
       } catch (const std::exception& e) {
         status = Status::Internal(std::string("uncaught exception: ") +
                                   e.what());
@@ -65,6 +95,7 @@ Status RunTaskWithRetry(
       }
     }
     if (status.ok()) return status;
+    if (IsCancellation(status)) return status;
     {
       std::unique_lock<std::mutex> lock(counters->mu);
       ++counters->failures;
@@ -84,6 +115,281 @@ Status RunTaskWithRetry(
     ++counters->retries;
   }
 }
+
+/// Per-phase straggler-resilience accounting, merged into
+/// MapReduceMetrics by Run().
+struct PhaseStats {
+  int64_t speculative_attempts = 0;
+  int64_t speculative_wins = 0;
+  int64_t cancelled_attempts = 0;
+  double cpu_seconds = 0;  // summed over every execution, losers included
+  double attempt_p50_seconds = 0;
+  double attempt_max_seconds = 0;
+  /// Per task: the execution (0 = primary, 1 = backup) whose results are
+  /// installed. Always set for every task when the phase succeeds.
+  std::vector<int> winner_exec;
+};
+
+/// Executes one phase's tasks on the pool with retries, cooperative
+/// cancellation, an optional job deadline, and optional speculative
+/// backup executions.
+///
+/// Life cycle of a task: its primary execution is submitted up front;
+/// while it runs, the coordinator (the Run() caller thread) may launch
+/// one backup execution if the speculation policy fires. The first
+/// execution to complete successfully resolves the task and cancels its
+/// sibling; a task with no execution left running and no success
+/// resolves as failed. The phase returns only after *every* launched
+/// execution has finished (losers are cancelled cooperatively and
+/// drained), so phase-local state can be torn down safely.
+class PhaseRunner {
+ public:
+  /// Runs one attempt of `(task, exec)`; called through the retry loop.
+  using AttemptBody = std::function<Status(
+      int task, int exec, const CancellationToken* token,
+      bool* output_started)>;
+
+  PhaseRunner(const MapReduceSpec& spec, MapReduceTaskPhase phase,
+              int num_tasks, ThreadPool* pool,
+              const CancellationToken* job_token, RetryCounters* counters)
+      : spec_(spec),
+        phase_(phase),
+        num_tasks_(num_tasks),
+        pool_(pool),
+        counters_(counters),
+        phase_token_(job_token) {
+    tasks_.reserve(static_cast<size_t>(num_tasks));
+    for (int t = 0; t < num_tasks; ++t) {
+      tasks_.push_back(std::make_unique<TaskState>());
+    }
+  }
+
+  /// The reduce output-ownership gate for `task`: the execution id that
+  /// has delivered (or is delivering) groups, -1 while none has. A
+  /// successful compare-exchange from -1 is the only way to start
+  /// delivering; losers observe the claim and abort.
+  std::atomic<int>& output_owner(int task) {
+    return tasks_[static_cast<size_t>(task)]->output_owner;
+  }
+
+  Status Run(const AttemptBody& body, PhaseStats* out) {
+    body_ = &body;
+    stats_.winner_exec.assign(static_cast<size_t>(num_tasks_), -1);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (int t = 0; t < num_tasks_; ++t) LaunchLocked(t, 0);
+    }
+    // The coordinator only needs to wake on a timer when there is a
+    // policy to evaluate (speculation) or a clock to watch (deadline /
+    // external cancel); otherwise task completions drive it entirely.
+    const bool poll = spec_.speculative_execution ||
+                      spec_.deadline_seconds > 0 || spec_.cancel != nullptr;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (resolved_ < num_tasks_ || in_flight_ > 0) {
+      if (poll) {
+        cv_.wait_for(lock, std::chrono::milliseconds(2));
+        // Polling the chain is what trips an expired deadline even when
+        // every worker is buried in non-cooperative user code.
+        phase_token_.cancelled();
+        MaybeLaunchBackupsLocked();
+      } else {
+        cv_.wait(lock);
+      }
+    }
+    std::sort(all_attempt_seconds_.begin(), all_attempt_seconds_.end());
+    if (!all_attempt_seconds_.empty()) {
+      stats_.attempt_p50_seconds =
+          all_attempt_seconds_[all_attempt_seconds_.size() / 2];
+      stats_.attempt_max_seconds = all_attempt_seconds_.back();
+    }
+    *out = std::move(stats_);
+    if (!first_failure_.ok()) {
+      if (IsCancellation(first_failure_)) {
+        // Cancellation statuses bubble up without task context; add the
+        // phase so "deadline exceeded" names where the job died.
+        return Status(first_failure_.code(),
+                      std::string(TaskPhaseName(phase_)) +
+                          " phase: " + first_failure_.message());
+      }
+      return first_failure_;
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct TaskState {
+    bool resolved = false;
+    bool backup_launched = false;
+    int launched = 0;
+    int finished = 0;
+    bool started[2] = {false, false};
+    std::chrono::steady_clock::time_point start_time[2];
+    std::unique_ptr<CancellationToken> token[2];
+    std::atomic<int> output_owner{-1};
+    Status failure;  // first non-cancellation failure among executions
+  };
+
+  void LaunchLocked(int t, int e) {
+    TaskState& task = *tasks_[static_cast<size_t>(t)];
+    task.token[e] = std::make_unique<CancellationToken>(&phase_token_);
+    ++task.launched;
+    ++in_flight_;
+    if (e == 1) {
+      task.backup_launched = true;
+      ++stats_.speculative_attempts;
+    }
+    pool_->Submit([this, t, e] { Execute(t, e); });
+  }
+
+  void Execute(int t, int e) {
+    TaskState& task = *tasks_[static_cast<size_t>(t)];
+    CancellationToken* token = task.token[e].get();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (task.resolved || token->cancelled()) {
+        // Dequeued after the race (or the phase) was already decided:
+        // never ran, so it is not a cancelled *attempt*.
+        Status skip = task.resolved ? Status::Cancelled("task already resolved")
+                                    : token->status();
+        FinishLocked(t, e, std::move(skip), /*ran=*/false, 0.0);
+        return;
+      }
+      task.started[e] = true;
+      task.start_time[e] = std::chrono::steady_clock::now();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Status s = RunTaskWithRetry(
+        spec_, phase_, t, /*attempt_offset=*/e * spec_.max_task_attempts,
+        token, counters_, [&](int /*attempt*/, bool* output_started) {
+          return (*body_)(t, e, token, output_started);
+        });
+    const double seconds = SecondsSince(start);
+    std::unique_lock<std::mutex> lock(mu_);
+    FinishLocked(t, e, std::move(s), /*ran=*/true, seconds);
+  }
+
+  void FinishLocked(int t, int e, Status s, bool ran, double seconds) {
+    TaskState& task = *tasks_[static_cast<size_t>(t)];
+    ++task.finished;
+    --in_flight_;
+    if (ran) {
+      stats_.cpu_seconds += seconds;
+      if (!IsCancellation(s)) all_attempt_seconds_.push_back(seconds);
+    }
+    if (s.ok()) {
+      if (!task.resolved) {
+        // First successful execution wins the task.
+        task.resolved = true;
+        ++resolved_;
+        stats_.winner_exec[static_cast<size_t>(t)] = e;
+        completed_seconds_.push_back(seconds);
+        if (e == 1) ++stats_.speculative_wins;
+        for (int other = 0; other < 2; ++other) {
+          if (other != e && task.token[other] != nullptr) {
+            task.token[other]->Cancel();
+          }
+        }
+      } else if (ran) {
+        // Completed after the task was already won: a speculation loser
+        // whose output is discarded.
+        ++stats_.cancelled_attempts;
+      }
+    } else if (IsCancellation(s)) {
+      if (ran) ++stats_.cancelled_attempts;
+      if (!task.resolved && task.finished == task.launched) {
+        // Every execution of this task is gone and none succeeded: the
+        // task dies with its first real failure, or with the
+        // cancellation reason (deadline, external cancel) if none.
+        task.resolved = true;
+        ++resolved_;
+        if (first_failure_.ok()) {
+          first_failure_ = !task.failure.ok() ? task.failure : std::move(s);
+          phase_token_.Cancel();
+        }
+      }
+    } else {
+      // Terminal (non-cancellation) failure of this execution. The
+      // sibling execution, if any is still running, may yet win the task
+      // — unless this execution had claimed reduce output ownership, in
+      // which case nothing can ever deliver and the task is doomed.
+      if (task.failure.ok()) task.failure = std::move(s);
+      if (task.output_owner.load(std::memory_order_acquire) == e) {
+        for (int other = 0; other < 2; ++other) {
+          if (other != e && task.token[other] != nullptr) {
+            task.token[other]->Cancel();
+          }
+        }
+      }
+      if (!task.resolved && task.finished == task.launched) {
+        task.resolved = true;
+        ++resolved_;
+        if (first_failure_.ok()) {
+          first_failure_ = task.failure;
+          // Fail-fast: abandon the phase's remaining work.
+          phase_token_.Cancel();
+        }
+      }
+    }
+    cv_.notify_all();
+  }
+
+  /// Speculation policy, evaluated by the coordinator each poll tick:
+  /// once enough tasks have completed to establish a median execution
+  /// duration, any task whose single running execution has exceeded the
+  /// straggler threshold gets one backup. Reduce tasks that have started
+  /// delivering output are ineligible (the terminality rule); the
+  /// output-ownership gate makes the unavoidable check-then-launch race
+  /// harmless.
+  void MaybeLaunchBackupsLocked() {
+    if (!spec_.speculative_execution) return;
+    if (!first_failure_.ok() || phase_token_.cancelled()) return;
+    const int completed = static_cast<int>(completed_seconds_.size());
+    const int needed = std::max<int>(
+        1, static_cast<int>(std::ceil(spec_.speculation_min_completed_fraction *
+                                      num_tasks_)));
+    if (completed < needed) return;
+    const double median = MedianOf(&completed_seconds_);
+    const double threshold =
+        std::max(spec_.speculation_latency_multiple * median,
+                 spec_.speculation_min_runtime_seconds);
+    const auto now = std::chrono::steady_clock::now();
+    for (int t = 0; t < num_tasks_; ++t) {
+      TaskState& task = *tasks_[static_cast<size_t>(t)];
+      if (task.resolved || task.backup_launched || task.launched != 1) {
+        continue;
+      }
+      if (!task.started[0]) continue;  // queued, not straggling
+      if (phase_ == MapReduceTaskPhase::kReduce &&
+          task.output_owner.load(std::memory_order_acquire) != -1) {
+        continue;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(now - task.start_time[0]).count();
+      if (elapsed <= threshold) continue;
+      LaunchLocked(t, 1);
+    }
+  }
+
+  const MapReduceSpec& spec_;
+  MapReduceTaskPhase phase_;
+  int num_tasks_;
+  ThreadPool* pool_;
+  RetryCounters* counters_;
+  const AttemptBody* body_ = nullptr;
+  /// Cancelled on the first terminal task failure (fail-fast) — and, via
+  /// its parent (the job token), by the deadline or the caller.
+  CancellationToken phase_token_;
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<TaskState>> tasks_;
+  std::vector<double> completed_seconds_;    // winning-execution durations
+  std::vector<double> all_attempt_seconds_;  // every ran-to-completion exec
+  int resolved_ = 0;
+  int in_flight_ = 0;
+  Status first_failure_;
+  PhaseStats stats_;
+};
 
 }  // namespace
 
@@ -164,6 +470,17 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   if (spec.max_task_attempts < 1) {
     return Status::InvalidArgument("max_task_attempts must be >= 1");
   }
+  if (spec.speculative_execution) {
+    if (spec.speculation_latency_multiple < 1.0) {
+      return Status::InvalidArgument(
+          "speculation_latency_multiple must be >= 1");
+    }
+    if (spec.speculation_min_completed_fraction < 0.0 ||
+        spec.speculation_min_completed_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "speculation_min_completed_fraction must be in [0, 1]");
+    }
+  }
 
   const int num_mappers = spec.num_mappers;
   const int num_reducers = spec.num_reducers;
@@ -179,160 +496,226 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
   ThreadPool& pool = *pool_;
 
+  // The job token chains the caller's token (external cancellation) and
+  // the wall-clock deadline; every execution token descends from it.
+  CancellationToken job_token(spec.cancel);
+  if (spec.deadline_seconds > 0) {
+    job_token.set_deadline(
+        total_start +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(spec.deadline_seconds)));
+  }
+
   RetryCounters counters;
-  std::mutex error_mu;
-  Status first_task_error;
-  auto record_task_error = [&](Status s) {
-    std::unique_lock<std::mutex> lock(error_mu);
-    if (first_task_error.ok()) first_task_error = std::move(s);
-  };
 
   // ---- Map phase: each mapper processes one input split, with failed
-  // attempts replayed from a cleared Emitter.
+  // attempts replayed from a cleared Emitter. Under speculation a task
+  // may run two executions; each emits into its own buffers and only the
+  // winner's are shuffled, so losers never contribute output.
   auto map_start = std::chrono::steady_clock::now();
-  std::vector<Emitter> emitters;
-  emitters.reserve(static_cast<size_t>(num_mappers));
-  for (int m = 0; m < num_mappers; ++m) {
-    emitters.emplace_back(num_reducers, spec.key_width, spec.value_width);
-  }
+  std::vector<std::array<std::unique_ptr<Emitter>, 2>> emitters(
+      static_cast<size_t>(num_mappers));
   const int64_t rows_per_mapper =
       (num_input_rows + num_mappers - 1) / num_mappers;
-  std::vector<double> map_task_seconds(static_cast<size_t>(num_mappers), 0);
-  Status pool_status =
-      pool.ParallelFor(static_cast<size_t>(num_mappers), [&](size_t m) {
-        auto task_start = std::chrono::steady_clock::now();
-        Status s = RunTaskWithRetry(
-            spec, MapReduceTaskPhase::kMap, static_cast<int>(m), &counters,
-            [&](int /*attempt*/, bool* /*output_started*/) -> Status {
-              // Clear-and-replay: drop any pairs a failed attempt buffered.
-              emitters[m].Clear();
-              if (spec.split_fn) {
-                for (const auto& [begin, end] :
-                     spec.split_fn(static_cast<int>(m))) {
-                  if (begin < end) spec.map_fn(begin, end, &emitters[m]);
-                }
-                return Status::OK();
-              }
-              int64_t begin = static_cast<int64_t>(m) * rows_per_mapper;
-              int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
-              if (begin < end) spec.map_fn(begin, end, &emitters[m]);
-              return Status::OK();
-            });
-        map_task_seconds[m] = SecondsSince(task_start);
-        if (!s.ok()) record_task_error(std::move(s));
-      });
+  PhaseRunner::AttemptBody map_body =
+      [&](int m, int exec, const CancellationToken* token,
+          bool* /*output_started*/) -> Status {
+    auto& slot = emitters[static_cast<size_t>(m)][static_cast<size_t>(exec)];
+    if (slot == nullptr) {
+      slot = std::make_unique<Emitter>(num_reducers, spec.key_width,
+                                       spec.value_width);
+    }
+    Emitter* emitter = slot.get();
+    // Clear-and-replay: drop any pairs a failed attempt buffered.
+    emitter->Clear();
+    emitter->cancel_ = token;
+    if (spec.split_fn) {
+      for (const auto& [begin, end] : spec.split_fn(m)) {
+        if (token->cancelled()) return token->status();
+        if (begin < end) spec.map_fn(begin, end, emitter);
+      }
+    } else {
+      int64_t begin = static_cast<int64_t>(m) * rows_per_mapper;
+      int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
+      if (begin < end) spec.map_fn(begin, end, emitter);
+    }
+    // A cancelled attempt's output is discarded even if map_fn ran to
+    // completion: the winner has already been installed.
+    return token->cancelled() ? token->status() : Status::OK();
+  };
+  PhaseStats map_stats;
+  {
+    PhaseRunner runner(spec, MapReduceTaskPhase::kMap, num_mappers, &pool,
+                       &job_token, &counters);
+    Status map_status = runner.Run(map_body, &map_stats);
+    metrics.task_failures = counters.failures;
+    metrics.task_retries = counters.retries;
+    metrics.speculative_attempts += map_stats.speculative_attempts;
+    metrics.speculative_wins += map_stats.speculative_wins;
+    metrics.cancelled_attempts += map_stats.cancelled_attempts;
+    metrics.map_attempt_p50_seconds = map_stats.attempt_p50_seconds;
+    metrics.map_attempt_max_seconds = map_stats.attempt_max_seconds;
+    if (!map_status.ok()) return map_status;
+  }
   metrics.map_seconds = SecondsSince(map_start);
-  for (double s : map_task_seconds) metrics.map_cpu_seconds += s;
-  metrics.task_failures = counters.failures;
-  metrics.task_retries = counters.retries;
-  if (!first_task_error.ok()) return first_task_error;
-  CASM_RETURN_IF_ERROR(pool_status);
+  metrics.map_cpu_seconds = map_stats.cpu_seconds;
 
-  for (const Emitter& e : emitters) metrics.emitted_pairs += e.emitted();
+  // Shuffle reads each map task's *winning* emitter.
+  std::vector<const Emitter*> map_out(static_cast<size_t>(num_mappers));
+  for (int m = 0; m < num_mappers; ++m) {
+    const int winner = map_stats.winner_exec[static_cast<size_t>(m)];
+    CASM_CHECK_GE(winner, 0);
+    map_out[static_cast<size_t>(m)] =
+        emitters[static_cast<size_t>(m)][static_cast<size_t>(winner)].get();
+  }
+
+  for (const Emitter* e : map_out) metrics.emitted_pairs += e->emitted();
   for (int r = 0; r < num_reducers; ++r) {
     int64_t pairs = 0;
-    for (const Emitter& e : emitters) {
-      pairs += static_cast<int64_t>(e.buffers_[static_cast<size_t>(r)].size()) /
-               pair_width;
+    for (const Emitter* e : map_out) {
+      pairs +=
+          static_cast<int64_t>(e->buffers_[static_cast<size_t>(r)].size()) /
+          pair_width;
     }
     metrics.reducer_pairs[static_cast<size_t>(r)] = pairs;
   }
 
   if (spec.map_only) {
+    metrics.deadline_exceeded = spec.deadline_seconds > 0 &&
+                                job_token.cancelled();
     metrics.total_seconds = SecondsSince(total_start);
     return metrics;
   }
 
   // ---- Shuffle + framework sort + reduce, per (virtual) reducer. Each
-  // reduce task is a retriable attempt until its first group is delivered.
+  // reduce task is a retriable attempt until its first group is
+  // delivered; under speculation the output-ownership gate guarantees at
+  // most one execution of a task ever delivers.
   auto reduce_phase_start = std::chrono::steady_clock::now();
-  std::vector<double> sort_seconds(static_cast<size_t>(num_reducers), 0);
-  std::vector<double> reduce_seconds(static_cast<size_t>(num_reducers), 0);
-  std::mutex spill_mu;
+  struct ReduceExecStats {
+    double sort_seconds = 0;
+    double reduce_seconds = 0;
+    int64_t groups = 0;
+    int64_t spilled_runs = 0;
+    int64_t spilled_records = 0;
+  };
+  std::vector<std::array<ReduceExecStats, 2>> reduce_exec_stats(
+      static_cast<size_t>(num_reducers));
 
-  pool_status =
-      pool.ParallelFor(static_cast<size_t>(num_reducers), [&](size_t r) {
-        Status s = RunTaskWithRetry(
-            spec, MapReduceTaskPhase::kReduce, static_cast<int>(r), &counters,
-            [&](int /*attempt*/, bool* output_started) -> Status {
-              auto sort_start = std::chrono::steady_clock::now();
-              // Gather this reducer's pairs from every mapper.
-              size_t total = 0;
-              for (const Emitter& e : emitters) total += e.buffers_[r].size();
-              std::vector<int64_t> pairs;
-              pairs.reserve(total);
-              for (const Emitter& e : emitters) {
-                pairs.insert(pairs.end(), e.buffers_[r].begin(),
-                             e.buffers_[r].end());
-              }
-              const int64_t count =
-                  static_cast<int64_t>(pairs.size()) / pair_width;
+  PhaseRunner runner(spec, MapReduceTaskPhase::kReduce, num_reducers, &pool,
+                     &job_token, &counters);
+  PhaseRunner::AttemptBody reduce_body =
+      [&](int r, int exec, const CancellationToken* token,
+          bool* output_started) -> Status {
+    ReduceExecStats& rs =
+        reduce_exec_stats[static_cast<size_t>(r)][static_cast<size_t>(exec)];
+    auto sort_start = std::chrono::steady_clock::now();
+    // Gather this reducer's pairs from every (winning) mapper.
+    const size_t ri = static_cast<size_t>(r);
+    size_t total = 0;
+    for (const Emitter* e : map_out) total += e->buffers_[ri].size();
+    std::vector<int64_t> pairs;
+    pairs.reserve(total);
+    for (const Emitter* e : map_out) {
+      pairs.insert(pairs.end(), e->buffers_[ri].begin(),
+                   e->buffers_[ri].end());
+    }
+    const int64_t count = static_cast<int64_t>(pairs.size()) / pair_width;
+    if (token->cancelled()) return token->status();
 
-              // Sort by key (and by value within key if a secondary order
-              // is given), spilling to disk beyond the memory budget.
-              const int key_width = spec.key_width;
-              auto pair_less = [&](const int64_t* px, const int64_t* py) {
-                int c = CompareKeys(px, py, key_width);
-                if (c != 0) return c < 0;
-                if (spec.value_less) {
-                  return spec.value_less(px + key_width, py + key_width);
-                }
-                return false;
-              };
-              ExternalSortOptions sort_options;
-              sort_options.memory_limit_records =
-                  spec.reducer_memory_limit_pairs;
-              sort_options.temp_dir = spec.spill_dir;
-              ExternalSortStats spill;
-              Result<std::vector<int64_t>> sort_result =
-                  ExternalSort(std::move(pairs), pair_width, pair_less,
-                               sort_options, &spill);
-              CASM_RETURN_IF_ERROR(sort_result.status());
-              std::vector<int64_t> sorted = std::move(sort_result).value();
-              {
-                std::unique_lock<std::mutex> lock(spill_mu);
-                metrics.spilled_runs += spill.runs_spilled;
-                metrics.spilled_records += spill.records_spilled;
-              }
-              sort_seconds[r] += SecondsSince(sort_start);
+    // Sort by key (and by value within key if a secondary order is
+    // given), spilling to disk beyond the memory budget.
+    const int key_width = spec.key_width;
+    auto pair_less = [&](const int64_t* px, const int64_t* py) {
+      int c = CompareKeys(px, py, key_width);
+      if (c != 0) return c < 0;
+      if (spec.value_less) {
+        return spec.value_less(px + key_width, py + key_width);
+      }
+      return false;
+    };
+    ExternalSortOptions sort_options;
+    sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
+    sort_options.temp_dir = spec.spill_dir;
+    ExternalSortStats spill;
+    Result<std::vector<int64_t>> sort_result = ExternalSort(
+        std::move(pairs), pair_width, pair_less, sort_options, &spill);
+    CASM_RETURN_IF_ERROR(sort_result.status());
+    std::vector<int64_t> sorted = std::move(sort_result).value();
+    rs.spilled_runs += spill.runs_spilled;
+    rs.spilled_records += spill.records_spilled;
+    rs.sort_seconds += SecondsSince(sort_start);
+    if (token->cancelled()) return token->status();
 
-              // Walk key groups.
-              auto reduce_start = std::chrono::steady_clock::now();
-              int64_t groups = 0;
-              int64_t begin = 0;
-              while (begin < count) {
-                int64_t end = begin + 1;
-                const int64_t* first = sorted.data() + begin * pair_width;
-                while (end < count &&
-                       CompareKeys(first, sorted.data() + end * pair_width,
-                                   key_width) == 0) {
-                  ++end;
-                }
-                ++groups;
-                if (!spec.skip_reduce) {
-                  GroupView group(first, end - begin, spec.key_width,
-                                  spec.value_width);
-                  // Delivered output cannot be rolled back: from here on a
-                  // failure of this attempt is terminal (no replay).
-                  *output_started = true;
-                  spec.reduce_fn(static_cast<int>(r), group);
-                }
-                begin = end;
-              }
-              metrics.reducer_groups[r] = groups;
-              reduce_seconds[r] += SecondsSince(reduce_start);
-              return Status::OK();
-            });
-        if (!s.ok()) record_task_error(std::move(s));
-      });
-
+    // Walk key groups.
+    auto reduce_start = std::chrono::steady_clock::now();
+    int64_t groups = 0;
+    int64_t begin = 0;
+    bool owns_output = false;
+    while (begin < count) {
+      if (token->cancelled()) {
+        rs.reduce_seconds += SecondsSince(reduce_start);
+        return token->status();
+      }
+      int64_t end = begin + 1;
+      const int64_t* first = sorted.data() + begin * pair_width;
+      while (end < count &&
+             CompareKeys(first, sorted.data() + end * pair_width,
+                         key_width) == 0) {
+        ++end;
+      }
+      ++groups;
+      if (!spec.skip_reduce) {
+        if (!owns_output) {
+          // Claim the task's output before the first delivery; exactly
+          // one execution of a task can ever succeed here, so a
+          // speculation loser can never duplicate user-visible output.
+          int expected = -1;
+          if (!runner.output_owner(r).compare_exchange_strong(
+                  expected, exec, std::memory_order_acq_rel)) {
+            rs.reduce_seconds += SecondsSince(reduce_start);
+            return Status::Cancelled(
+                "lost reduce output ownership to a concurrent attempt");
+          }
+          owns_output = true;
+        }
+        // Delivered output cannot be rolled back: from here on a failure
+        // of this attempt is terminal (no replay).
+        *output_started = true;
+        GroupView group(first, end - begin, spec.key_width, spec.value_width,
+                        token);
+        spec.reduce_fn(r, group);
+      }
+      begin = end;
+    }
+    rs.groups = groups;
+    rs.reduce_seconds += SecondsSince(reduce_start);
+    return Status::OK();
+  };
+  PhaseStats reduce_stats;
+  Status reduce_status = runner.Run(reduce_body, &reduce_stats);
   metrics.task_failures = counters.failures;
   metrics.task_retries = counters.retries;
-  if (!first_task_error.ok()) return first_task_error;
-  CASM_RETURN_IF_ERROR(pool_status);
+  metrics.speculative_attempts += reduce_stats.speculative_attempts;
+  metrics.speculative_wins += reduce_stats.speculative_wins;
+  metrics.cancelled_attempts += reduce_stats.cancelled_attempts;
+  metrics.reduce_attempt_p50_seconds = reduce_stats.attempt_p50_seconds;
+  metrics.reduce_attempt_max_seconds = reduce_stats.attempt_max_seconds;
+  if (!reduce_status.ok()) return reduce_status;
   metrics.reduce_phase_wall_seconds = SecondsSince(reduce_phase_start);
-  for (double s : sort_seconds) metrics.shuffle_sort_seconds += s;
-  for (double s : reduce_seconds) metrics.reduce_seconds += s;
+  for (int r = 0; r < num_reducers; ++r) {
+    const int winner = reduce_stats.winner_exec[static_cast<size_t>(r)];
+    CASM_CHECK_GE(winner, 0);
+    const ReduceExecStats& rs =
+        reduce_exec_stats[static_cast<size_t>(r)][static_cast<size_t>(winner)];
+    metrics.shuffle_sort_seconds += rs.sort_seconds;
+    metrics.reduce_seconds += rs.reduce_seconds;
+    metrics.reducer_groups[static_cast<size_t>(r)] = rs.groups;
+    metrics.spilled_runs += rs.spilled_runs;
+    metrics.spilled_records += rs.spilled_records;
+  }
+  metrics.deadline_exceeded =
+      spec.deadline_seconds > 0 && job_token.cancelled();
   metrics.total_seconds = SecondsSince(total_start);
   return metrics;
 }

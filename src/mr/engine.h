@@ -24,6 +24,30 @@
 // (delivered groups cannot be rolled back, and re-delivering them would
 // duplicate side effects). Exhausted retries surface as a clean `Status`
 // from Run() naming the phase and task — the process never dies.
+//
+// Straggler resilience (the Hadoop defense the paper's evaluation leans
+// on — the response time is dominated by the heaviest reducer, §IV):
+//
+//   * Cooperative cancellation: every task execution runs under a
+//     CancellationToken chained to a job-level token. The engine polls
+//     tokens between splits, groups, and injected delays; user map/reduce
+//     functions doing unbounded work should poll `Emitter::cancelled()` /
+//     `GroupView::cancelled()` and return early.
+//   * Deadlines: `MapReduceSpec::deadline_seconds` arms the job token
+//     with a wall-clock deadline; on expiry in-flight executions abort at
+//     their next poll and Run() returns DeadlineExceeded — never a hang
+//     (given cooperative user code).
+//   * Speculative execution: when a phase is mostly complete and one task
+//     execution has run far longer than the median completed execution, a
+//     backup execution of the same task is launched; whichever finishes
+//     first wins and the loser is cancelled. Map tasks are backed up
+//     unconditionally (each execution emits into its own buffers and only
+//     the winner's are shuffled). A reduce task is backed up only while
+//     no execution has delivered a group, and an atomic output-ownership
+//     gate guarantees at most one execution of a task ever invokes
+//     `reduce_fn` — losers can never contribute output, so any mix of
+//     faults, stragglers, and speculative wins yields results identical
+//     to a fault-free run.
 
 #ifndef CASM_MR_ENGINE_H_
 #define CASM_MR_ENGINE_H_
@@ -34,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "mr/metrics.h"
 
@@ -60,6 +85,16 @@ const char* TaskPhaseName(MapReduceTaskPhase phase);
 using MapReduceFaultInjector =
     std::function<Status(MapReduceTaskPhase phase, int task, int attempt)>;
 
+/// Deterministic latency-injection hook (the straggler sibling of
+/// MapReduceFaultInjector): invoked at the start of every task attempt;
+/// the returned number of seconds is slept — cancellably — before the
+/// attempt body runs. Attempt numbering: a task's primary execution uses
+/// attempts 1..max_task_attempts, a speculative backup execution
+/// continues with max_task_attempts+1..2*max_task_attempts, so injectors
+/// can slow the primary while leaving the backup fast.
+using MapReduceSlowTaskInjector =
+    std::function<double(MapReduceTaskPhase phase, int task, int attempt)>;
+
 /// Mapper-side sink for key/value pairs. Not thread-safe; each mapper task
 /// owns one.
 class Emitter {
@@ -76,11 +111,21 @@ class Emitter {
 
   int64_t emitted() const { return emitted_; }
 
+  /// True when the attempt driving this emitter has been cancelled (the
+  /// job deadline expired, or this attempt lost a speculation race). Long
+  /// map functions should poll this every few thousand rows and return
+  /// early; the engine discards the attempt's output.
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  /// The driving attempt's token (null outside an engine run), for
+  /// forwarding into nested cancellable work.
+  const CancellationToken* cancellation_token() const { return cancel_; }
+
  private:
   friend class MapReduceEngine;
   int key_width_;
   int value_width_;
   int64_t emitted_ = 0;
+  const CancellationToken* cancel_ = nullptr;  // not owned; set per attempt
   // Per-reducer buffer of flattened [key..., value...] entries.
   std::vector<std::vector<int64_t>> buffers_;
 };
@@ -90,11 +135,12 @@ class Emitter {
 class GroupView {
  public:
   GroupView(const int64_t* base, int64_t count, int key_width,
-            int value_width)
+            int value_width, const CancellationToken* cancel = nullptr)
       : base_(base),
         count_(count),
         key_width_(key_width),
-        pair_width_(key_width + value_width) {}
+        pair_width_(key_width + value_width),
+        cancel_(cancel) {}
 
   const int64_t* key() const { return base_; }
   int64_t size() const { return count_; }
@@ -105,11 +151,19 @@ class GroupView {
   /// Copies the values into a contiguous row-major buffer (stripping keys).
   std::vector<int64_t> CopyValues() const;
 
+  /// True when the delivering reduce attempt has been cancelled (e.g. the
+  /// job deadline expired). Long reduce functions should poll this and
+  /// return early; the whole run is failing anyway.
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  /// The delivering attempt's token (null outside an engine run).
+  const CancellationToken* cancellation_token() const { return cancel_; }
+
  private:
   const int64_t* base_;
   int64_t count_;
   int key_width_;
   int pair_width_;
+  const CancellationToken* cancel_ = nullptr;  // not owned
 };
 
 /// Specification of one MapReduce job.
@@ -158,6 +212,41 @@ struct MapReduceSpec {
   int max_task_attempts = 2;
   /// Optional deterministic fault injection (tests, chaos benches).
   MapReduceFaultInjector fault_injector;
+
+  // ---- Straggler resilience (see the header comment).
+
+  /// Wall-clock budget for the whole job; <= 0 means none. On expiry all
+  /// in-flight executions are cancelled cooperatively and Run() returns
+  /// DeadlineExceeded. Finished work is not invalidated: a job whose last
+  /// task completes before any execution observes the expired deadline
+  /// still succeeds.
+  double deadline_seconds = 0;
+  /// Optional external cancellation: tripping this token aborts the job
+  /// cooperatively and Run() returns Cancelled. Not owned.
+  const CancellationToken* cancel = nullptr;
+
+  /// Enables Hadoop-style speculative backup executions for straggling
+  /// tasks. Policy: once at least `speculation_min_completed_fraction` of
+  /// a phase's tasks have completed, any task whose sole running
+  /// execution has been running longer than
+  /// max(speculation_latency_multiple x median completed-execution
+  /// duration, speculation_min_runtime_seconds) gets one backup
+  /// execution; first finisher wins, the loser is cancelled. Map tasks
+  /// are eligible unconditionally; reduce tasks only while no group has
+  /// been delivered (the retry terminality rule).
+  bool speculative_execution = false;
+  /// Straggler threshold as a multiple of the median completed-execution
+  /// duration (>= 1).
+  double speculation_latency_multiple = 4.0;
+  /// Fraction of the phase's tasks that must have completed before any
+  /// backup launches (in [0, 1]; "the phase is mostly done").
+  double speculation_min_completed_fraction = 0.5;
+  /// Absolute floor for the straggler threshold, guarding against
+  /// spurious backups when the median task takes microseconds.
+  double speculation_min_runtime_seconds = 0.05;
+
+  /// Optional deterministic latency injection (tests, chaos benches).
+  MapReduceSlowTaskInjector slow_task_injector;
 };
 
 /// Executes MapReduce jobs on an internal thread pool. The pool is created
@@ -176,7 +265,9 @@ class MapReduceEngine {
   /// Runs the job over `num_input_rows` abstract input rows (the map_fn
   /// interprets row indices). Returns metrics on success; returns a
   /// non-OK Status naming the phase and task when a task exhausts its
-  /// retry budget (user-code exceptions included — never std::terminate).
+  /// retry budget (user-code exceptions included — never std::terminate),
+  /// DeadlineExceeded when `spec.deadline_seconds` expires first, and
+  /// Cancelled when `spec.cancel` trips.
   Result<MapReduceMetrics> Run(const MapReduceSpec& spec,
                                int64_t num_input_rows);
 

@@ -36,6 +36,16 @@ std::string MapReduceMetrics::ToString() const {
     out += " task_failures=" + std::to_string(task_failures);
     out += " task_retries=" + std::to_string(task_retries);
   }
+  if (speculative_attempts > 0 || cancelled_attempts > 0) {
+    out += " speculative_attempts=" + std::to_string(speculative_attempts);
+    out += " speculative_wins=" + std::to_string(speculative_wins);
+    out += " cancelled_attempts=" + std::to_string(cancelled_attempts);
+  }
+  if (deadline_exceeded) out += " deadline_exceeded=1";
+  out += " map_attempt_p50_s=" + std::to_string(map_attempt_p50_seconds);
+  out += " map_attempt_max_s=" + std::to_string(map_attempt_max_seconds);
+  out += " reduce_attempt_p50_s=" + std::to_string(reduce_attempt_p50_seconds);
+  out += " reduce_attempt_max_s=" + std::to_string(reduce_attempt_max_seconds);
   out += " map_wall_s=" + std::to_string(map_seconds);
   out += " map_cpu_s=" + std::to_string(map_cpu_seconds);
   out += " shuffle_sort_cpu_s=" + std::to_string(shuffle_sort_seconds);
@@ -62,6 +72,18 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   spilled_records += other.spilled_records;
   task_failures += other.task_failures;
   task_retries += other.task_retries;
+  speculative_attempts += other.speculative_attempts;
+  speculative_wins += other.speculative_wins;
+  cancelled_attempts += other.cancelled_attempts;
+  deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
+  map_attempt_p50_seconds =
+      std::max(map_attempt_p50_seconds, other.map_attempt_p50_seconds);
+  map_attempt_max_seconds =
+      std::max(map_attempt_max_seconds, other.map_attempt_max_seconds);
+  reduce_attempt_p50_seconds =
+      std::max(reduce_attempt_p50_seconds, other.reduce_attempt_p50_seconds);
+  reduce_attempt_max_seconds =
+      std::max(reduce_attempt_max_seconds, other.reduce_attempt_max_seconds);
   map_seconds += other.map_seconds;
   map_cpu_seconds += other.map_cpu_seconds;
   shuffle_sort_seconds += other.shuffle_sort_seconds;

@@ -12,7 +12,11 @@
 //   * cpu-sum (`map_cpu_seconds`, `shuffle_sort_seconds`,
 //     `reduce_seconds`): summed across (virtual) tasks, i.e. the serial
 //     work a cluster would distribute; can exceed wall time whenever
-//     tasks run in parallel and includes the work of retried attempts.
+//     tasks run in parallel. `map_cpu_seconds` counts every execution
+//     (retried attempts and speculative losers included — it measures
+//     work done); the per-reducer sort/reduce cpu-sums count only each
+//     task's winning execution (they calibrate the cluster model's
+//     per-record constants, which want the useful work).
 //
 // The `bench/fig4*` harnesses print the wall-clock `total_seconds` for
 // reference and compute modeled cluster response times from
@@ -45,11 +49,36 @@ struct MapReduceMetrics {
   int64_t spilled_records = 0;
 
   /// Task attempts that failed (injected faults, non-OK statuses, or
-  /// exceptions thrown by user map/reduce functions).
+  /// exceptions thrown by user map/reduce functions). Cancelled attempts
+  /// (speculation losers, deadline aborts) are not failures and are
+  /// counted separately below.
   int64_t task_failures = 0;
   /// Attempts re-run after a failure; a run that succeeds with retries
   /// produces results identical to a fault-free run.
   int64_t task_retries = 0;
+
+  // Straggler resilience (speculative execution + deadlines).
+  /// Backup attempts launched for straggling tasks.
+  int64_t speculative_attempts = 0;
+  /// Backup attempts that finished before (and so replaced) the primary.
+  int64_t speculative_wins = 0;
+  /// Attempts that were cancelled mid-flight, or finished after another
+  /// attempt of the same task had already won the race. Their output is
+  /// always discarded.
+  int64_t cancelled_attempts = 0;
+  /// True when the job's wall-clock deadline tripped during the run.
+  /// (A run that fails with DeadlineExceeded returns no metrics; this
+  /// flag covers the rare race where every task finished anyway.)
+  bool deadline_exceeded = false;
+  /// Median / max duration of task attempts that ran to natural
+  /// completion (successes and non-cancelled failures; mid-flight-
+  /// cancelled attempts are excluded because their durations measure the
+  /// cancellation latency, not the work). Under Accumulate() these are
+  /// max-over-jobs, not a recomputed quantile.
+  double map_attempt_p50_seconds = 0;
+  double map_attempt_max_seconds = 0;
+  double reduce_attempt_p50_seconds = 0;
+  double reduce_attempt_max_seconds = 0;
 
   // Phase timings (see the header comment for wall vs cpu-sum semantics).
   double map_seconds = 0;      // wall clock of the map phase

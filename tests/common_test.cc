@@ -4,13 +4,16 @@
 // thread pool.
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "common/math.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -210,6 +213,126 @@ TEST(ThreadPoolTest, ParallelForWithFarMoreItemsThanThreads) {
       pool.ParallelFor(kN, [&](size_t i) { sum += static_cast<int64_t>(i); })
           .ok());
   EXPECT_EQ(sum.load(), static_cast<int64_t>(kN * (kN - 1) / 2));
+}
+
+TEST(CancellationTest, FreshTokenIsLive) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST(CancellationTest, CancelTripsOnceAndStaysTripped) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.status().code(), StatusCode::kCancelled);
+  token.Cancel();  // idempotent
+  EXPECT_EQ(token.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, ExpiredDeadlineTripsOnPoll) {
+  CancellationToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, FutureDeadlineStaysLive) {
+  CancellationToken token;
+  token.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::hours(1));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST(CancellationTest, ChildObservesParentTripWithParentsReason) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.set_deadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, SiblingTokensAreIndependent) {
+  CancellationToken parent;
+  CancellationToken loser(&parent);
+  CancellationToken winner(&parent);
+  loser.Cancel();
+  EXPECT_TRUE(loser.cancelled());
+  EXPECT_FALSE(winner.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationTest, InterruptibleSleepRunsFullDurationWhenLive) {
+  CancellationToken token;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(InterruptibleSleep(0.05, &token));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.05);
+}
+
+TEST(CancellationTest, InterruptibleSleepAbortsWhenTripped) {
+  CancellationToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(InterruptibleSleep(10.0, &token));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(ThreadPoolTest, CancellableParallelForStopsEarly) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  std::atomic<int> visited{0};
+  Status status = pool.ParallelFor(
+      100000,
+      [&](size_t i) {
+        if (++visited == 10) token.Cancel();
+      },
+      &token);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(visited.load(), 100000);
+  // The pool survives for later (un-cancelled) loops.
+  std::atomic<int> after{0};
+  EXPECT_TRUE(pool.ParallelFor(64, [&](size_t) { ++after; }).ok());
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, CancellableParallelForPrefersTaskFailureOverCancel) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  Status status = pool.ParallelFor(
+      1000,
+      [&](size_t i) {
+        if (i == 5) {
+          token.Cancel();
+          throw std::runtime_error("real failure");
+        }
+      },
+      &token);
+  // A concrete task failure is more informative than the cancellation it
+  // triggered.
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("real failure"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, CancellableParallelForRunsCleanWithLiveToken) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  std::atomic<int> visited{0};
+  ASSERT_TRUE(pool.ParallelFor(256, [&](size_t) { ++visited; }, &token).ok());
+  EXPECT_EQ(visited.load(), 256);
 }
 
 }  // namespace
