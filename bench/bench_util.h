@@ -35,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/optimizer.h"
@@ -145,6 +147,37 @@ inline RunOutcome RunQuery(const Workflow& wf, const Table& table,
 inline void PrintHeader(const char* figure, const char* description) {
   std::printf("# %s — %s\n", figure, description);
   std::printf("# scale=%.2f (set CASM_BENCH_SCALE to change)\n", Scale());
+}
+
+/// One emitted JSON row: a label plus numeric fields.
+struct JsonRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Writes `rows` to <dir>/<name>.json when CASM_BENCH_JSON names a
+/// directory (CI's bench-smoke job uploads these as workflow artifacts);
+/// no-op otherwise. Labels and keys must not need JSON escaping.
+inline void MaybeWriteJson(const std::string& name,
+                           const std::vector<JsonRow>& rows) {
+  const char* dir = std::getenv("CASM_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CASM_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\"figure\": \"%s\", \"scale\": %.6g, \"rows\": [",
+               name.c_str(), Scale());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s\n  {\"label\": \"%s\"", i == 0 ? "" : ",",
+                 rows[i].label.c_str());
+    for (const auto& [key, value] : rows[i].fields) {
+      std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
 }
 
 }  // namespace casm::bench

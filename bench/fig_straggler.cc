@@ -136,5 +136,28 @@ int main() {
   std::printf("# modeled cluster seconds: healthy=%.1f straggler=%.1f "
               "straggler+speculation=%.1f\n",
               healthy, slowed, recovered);
+
+  MaybeWriteJson(
+      "fig_straggler",
+      {JsonRow{"clean",
+               {{"measured_wall_seconds", clean_metrics.total_seconds},
+                {"speculative_wins",
+                 static_cast<double>(clean_metrics.speculative_wins)},
+                {"modeled_seconds", healthy}}},
+       JsonRow{"straggler_no_speculation",
+               {{"measured_wall_seconds",
+                 no_spec.value().metrics.total_seconds},
+                {"speculative_wins",
+                 static_cast<double>(
+                     no_spec.value().metrics.speculative_wins)},
+                {"modeled_seconds", slowed}}},
+       JsonRow{"straggler_speculation",
+               {{"measured_wall_seconds", spec.value().metrics.total_seconds},
+                {"speculative_wins",
+                 static_cast<double>(spec.value().metrics.speculative_wins)},
+                {"modeled_seconds", recovered}}},
+       JsonRow{"deadline_below_delay",
+               {{"injected_delay_seconds", delay},
+                {"failed_fast", 1.0}}}});
   return 0;
 }

@@ -1,44 +1,94 @@
 #!/usr/bin/env bash
-# Full verification loop: configure, build, run every test, run every
-# figure/bench harness. Mirrors what EXPERIMENTS.md's outputs were
-# produced with.
+# Full verification loop: configure, build, and run every test in one or
+# more build configurations, then (full runs only) run every figure/bench
+# harness. Mirrors what EXPERIMENTS.md's outputs were produced with, and
+# is exactly what CI's matrix invokes — one configuration per job.
 #
-# A second configuration rebuilds the library and reruns the tier-1 test
-# suite under AddressSanitizer (the fault-tolerance substrate retries
-# tasks and replays emit buffers — ASan guards the replay paths against
-# use-after-free/overflow regressions). Set CASM_SKIP_ASAN=1 to skip it.
+# Usage:
+#   scripts/check.sh                 # all configurations + bench harnesses
+#   scripts/check.sh default         # plain build + tests only
+#   scripts/check.sh asan tsan       # just the named sanitizer legs
 #
-# A third configuration does the same under ThreadSanitizer (the
-# straggler substrate runs concurrent executions of one task with
-# cooperative cancellation and an output-ownership race — TSan guards the
-# engine's cross-thread handoffs). Set CASM_SKIP_TSAN=1 to skip it.
+# Configurations:
+#   default  plain RelWithDebInfo-ish build; the tier-1 gate every PR
+#            must keep green.
+#   asan     AddressSanitizer: the fault-tolerance substrate retries
+#            tasks and replays emit buffers, and the memory budget spills
+#            and replays sorted runs — ASan guards those replay paths
+#            against use-after-free/overflow regressions.
+#   tsan     ThreadSanitizer: speculative execution runs concurrent
+#            executions of one task with cooperative cancellation, an
+#            output-ownership race, and blocking budget admission — TSan
+#            guards the cross-thread handoffs.
+#   ubsan    UndefinedBehaviorSanitizer (-fno-sanitize-recover=all, so
+#            any hit is a hard failure): guards the hash mixing, flat
+#            buffer arithmetic, and byte-accounting overflow paths.
+#
+# Env knobs (full runs without arguments): CASM_SKIP_ASAN=1,
+# CASM_SKIP_TSAN=1, CASM_SKIP_UBSAN=1 skip a leg; CASM_SKIP_BENCH=1
+# skips the bench harness loop. ccache is used automatically when
+# installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-
-if [ "${CASM_SKIP_ASAN:-0}" != "1" ]; then
-  cmake -B build-asan -G Ninja \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer"
-  cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure
+run_bench=0
+if [ "$#" -gt 0 ]; then
+  configs=("$@")
+else
+  configs=(default)
+  [ "${CASM_SKIP_ASAN:-0}" != "1" ] && configs+=(asan)
+  [ "${CASM_SKIP_TSAN:-0}" != "1" ] && configs+=(tsan)
+  [ "${CASM_SKIP_UBSAN:-0}" != "1" ] && configs+=(ubsan)
+  [ "${CASM_SKIP_BENCH:-0}" != "1" ] && run_bench=1
 fi
 
-if [ "${CASM_SKIP_TSAN:-0}" != "1" ]; then
-  cmake -B build-tsan -G Ninja \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
-  cmake --build build-tsan
-  ctest --test-dir build-tsan --output-on-failure
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
-for b in build/bench/*; do
-  if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "===== $b ====="
-    "$b"
-    echo
-  fi
+build_and_test() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -G Ninja "${launcher[@]}" "$@"
+  cmake --build "$dir"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+for config in "${configs[@]}"; do
+  echo "===== config: $config ====="
+  case "$config" in
+    default)
+      build_and_test build
+      ;;
+    asan)
+      build_and_test build-asan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer"
+      ;;
+    tsan)
+      build_and_test build-tsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+      ;;
+    ubsan)
+      build_and_test build-ubsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+      ;;
+    *)
+      echo "unknown configuration: $config (want default|asan|tsan|ubsan)" >&2
+      exit 2
+      ;;
+  esac
 done
+
+if [ "$run_bench" = "1" ]; then
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+      echo
+    fi
+  done
+fi

@@ -1,0 +1,79 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Process-wide memory accounting and admission control. A MemoryBudget is
+// a thread-safe byte counter with an optional capacity: work reserves its
+// projected footprint before allocating and releases it when the memory
+// is returned. When a capacity is set, Reserve() blocks on a wait queue
+// until enough earlier reservations are released — this is what paces
+// concurrent MapReduce task launches (speculation doubles them) so the
+// engine never runs a task whose working set it cannot hold, the Hadoop
+// discipline of paper §III-A. With no capacity the budget never blocks
+// and degrades to pure accounting (used / peak tracking), which is how
+// the unbounded baseline of bench/fig_memory.cc measures its peak.
+//
+// Deadlock discipline: a single reservation larger than the whole
+// capacity can never be satisfied, so Reserve() fails it immediately with
+// a descriptive Status instead of parking the caller forever. Blocking
+// waits poll a CancellationToken, so a job deadline or an external cancel
+// also unblocks waiters promptly.
+
+#ifndef CASM_COMMON_MEMORY_BUDGET_H_
+#define CASM_COMMON_MEMORY_BUDGET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace casm {
+
+/// Thread-safe byte budget with blocking admission. Share by pointer; not
+/// copyable or movable.
+class MemoryBudget {
+ public:
+  /// `capacity_bytes` <= 0 means unlimited (accounting only, never blocks).
+  explicit MemoryBudget(int64_t capacity_bytes)
+      : capacity_(capacity_bytes > 0 ? capacity_bytes : 0) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` if they fit (always fits when unlimited). Never
+  /// blocks. Returns false when the reservation would exceed capacity.
+  bool TryReserve(int64_t bytes);
+
+  /// Reserves `bytes`, blocking until enough outstanding reservations are
+  /// released. Fails immediately with a descriptive InvalidArgument when
+  /// `bytes` exceeds the whole capacity (waiting could never succeed),
+  /// and with `cancel`'s status when the token trips while waiting.
+  Status Reserve(int64_t bytes, const CancellationToken* cancel);
+
+  /// Returns `bytes` to the budget and wakes admission waiters.
+  void Release(int64_t bytes);
+
+  /// Configured capacity (0 = unlimited).
+  int64_t capacity() const { return capacity_; }
+  /// Bytes currently reserved.
+  int64_t used() const;
+  /// High-water mark of `used()` since construction.
+  int64_t peak_used() const;
+  /// Number of Reserve() calls that had to wait for admission.
+  int64_t admission_waits() const;
+  /// Total seconds Reserve() callers spent waiting for admission.
+  double admission_wait_seconds() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable released_;
+  int64_t used_ = 0;
+  int64_t peak_used_ = 0;
+  int64_t admission_waits_ = 0;
+  double admission_wait_seconds_ = 0;
+};
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_MEMORY_BUDGET_H_

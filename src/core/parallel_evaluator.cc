@@ -71,6 +71,9 @@ MeasureResultSet FilterOwned(const Workflow& wf,
 
 void ApplyEngineOptions(const ParallelEvalOptions& options,
                         MapReduceSpec* spec) {
+  spec->reducer_memory_limit_pairs = options.reducer_memory_limit_pairs;
+  spec->memory_budget_bytes = options.memory_budget_bytes;
+  spec->emitter_spill_threshold_bytes = options.emitter_spill_threshold_bytes;
   spec->max_task_attempts = options.max_task_attempts;
   spec->fault_injector = options.fault_injector;
   spec->deadline_seconds = options.deadline_seconds;
@@ -121,7 +124,6 @@ Result<ParallelEvalResult> EvaluateParallel(
   spec.key_width = num_attrs;
   spec.map_only = options.phase == ParallelEvalPhase::kMapOnly;
   spec.skip_reduce = options.phase == ParallelEvalPhase::kShuffleOnly;
-  spec.reducer_memory_limit_pairs = options.reducer_memory_limit_pairs;
   ApplyEngineOptions(options, &spec);
 
   DistributedFile::Assignment dfs_assignment;

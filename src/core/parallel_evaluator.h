@@ -43,6 +43,16 @@ struct ParallelEvalOptions {
   /// Per-reducer framework-sort memory budget in pairs; exceeding it
   /// spills sorted runs to disk (external sort). 0 = unlimited.
   int64_t reducer_memory_limit_pairs = 0;
+  /// Process-wide byte budget for the evaluation, forwarded to the
+  /// engine: emitter buffers are tracked against it and task launches
+  /// reserve projected footprints first, queueing under pressure
+  /// (speculation's doubled executions included). 0 = unlimited, with
+  /// peak_tracked_bytes still measuring the run. See mr/engine.h.
+  int64_t memory_budget_bytes = 0;
+  /// Map-side spill threshold in bytes of buffered pairs per task; past
+  /// it emitters spill sorted runs to disk, replayed at shuffle. 0 = no
+  /// map-side spilling (a set memory budget derives a threshold).
+  int64_t emitter_spill_threshold_bytes = 0;
   /// Optional block placement of the input table: mappers then read the
   /// locality-scheduled splits of this file instead of contiguous chunks.
   /// Must describe exactly `table.num_rows()` rows. Not owned.
@@ -73,9 +83,9 @@ struct ParallelEvalOptions {
 };
 
 /// Copies the robustness knobs of `options` (retry budget, injectors,
-/// deadline, cancellation, speculation policy) into `spec`. Shared by
-/// EvaluateParallel and the multi-job evaluator so the two paths cannot
-/// drift.
+/// deadline, cancellation, speculation policy, memory budget and spill
+/// thresholds) into `spec`. Shared by EvaluateParallel and the multi-job
+/// evaluator so the two paths cannot drift.
 void ApplyEngineOptions(const ParallelEvalOptions& options,
                         MapReduceSpec* spec);
 

@@ -8,19 +8,28 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <numeric>
 #include <thread>
 
 #include "common/cancellation.h"
 #include "common/logging.h"
+#include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "mr/external_sort.h"
 
 namespace casm {
 namespace {
+
+/// Emitters account buffered bytes against the budget in chunks of this
+/// size, so emitting is not one budget lock per pair. Also the slack the
+/// engine adds on top of the spill threshold when projecting a map
+/// task's footprint.
+constexpr int64_t kEmitterAccountChunkBytes = 64 * 1024;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -172,6 +181,17 @@ class PhaseRunner {
     return tasks_[static_cast<size_t>(task)]->output_owner;
   }
 
+  /// Admission control: before running, every execution reserves
+  /// `projected_bytes(task)` from `budget` (blocking, cancellably) and
+  /// releases it when it finishes — so concurrent executions, speculation
+  /// backups included, queue instead of overcommitting memory. Call
+  /// before Run(); either argument may be null/empty (no admission).
+  void set_admission(MemoryBudget* budget,
+                     std::function<int64_t(int)> projected_bytes) {
+    budget_ = budget;
+    projected_bytes_ = std::move(projected_bytes);
+  }
+
   Status Run(const AttemptBody& body, PhaseStats* out) {
     body_ = &body;
     stats_.winner_exec.assign(static_cast<size_t>(num_tasks_), -1);
@@ -254,6 +274,32 @@ class PhaseRunner {
         FinishLocked(t, e, std::move(skip), /*ran=*/false, 0.0);
         return;
       }
+    }
+    // Admission: reserve the projected footprint before touching memory,
+    // queueing while the budget is full. Done before `started` is set so
+    // an execution parked in the admission queue does not look like a
+    // straggler to the speculation policy. A reservation that can never
+    // fit fails the execution with the budget's descriptive status; a
+    // cancellation (deadline, lost race) while waiting unparks promptly.
+    const int64_t admission =
+        budget_ != nullptr && projected_bytes_ ? projected_bytes_(t) : 0;
+    if (admission > 0) {
+      Status s = budget_->Reserve(admission, token);
+      if (!s.ok()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        FinishLocked(t, e, std::move(s), /*ran=*/false, 0.0);
+        return;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (task.resolved || token->cancelled()) {
+        if (admission > 0) budget_->Release(admission);
+        Status skip = task.resolved ? Status::Cancelled("task already resolved")
+                                    : token->status();
+        FinishLocked(t, e, std::move(skip), /*ran=*/false, 0.0);
+        return;
+      }
       task.started[e] = true;
       task.start_time[e] = std::chrono::steady_clock::now();
     }
@@ -264,6 +310,7 @@ class PhaseRunner {
           return (*body_)(t, e, token, output_started);
         });
     const double seconds = SecondsSince(start);
+    if (admission > 0) budget_->Release(admission);
     std::unique_lock<std::mutex> lock(mu_);
     FinishLocked(t, e, std::move(s), /*ran=*/true, seconds);
   }
@@ -376,6 +423,8 @@ class PhaseRunner {
   ThreadPool* pool_;
   RetryCounters* counters_;
   const AttemptBody* body_ = nullptr;
+  MemoryBudget* budget_ = nullptr;  // not owned; null = no admission
+  std::function<int64_t(int)> projected_bytes_;
   /// Cancelled on the first terminal task failure (fail-fast) — and, via
   /// its parent (the job token), by the deadline or the caller.
   CancellationToken phase_token_;
@@ -417,7 +466,25 @@ uint64_t PartitionHash(const int64_t* key, int width) {
 Emitter::Emitter(int num_reducers, int key_width, int value_width)
     : key_width_(key_width),
       value_width_(value_width),
-      buffers_(static_cast<size_t>(num_reducers)) {}
+      buffers_(static_cast<size_t>(num_reducers)),
+      spilled_(static_cast<size_t>(num_reducers)) {}
+
+Emitter::~Emitter() {
+  DropSpillFiles();
+  if (budget_ != nullptr) budget_->Release(extra_reserved_bytes_);
+}
+
+void Emitter::ConfigureMemory(MemoryBudget* budget,
+                              int64_t base_reserved_bytes,
+                              int64_t spill_threshold_bytes,
+                              std::string spill_dir) {
+  budget_ = budget;
+  base_reserved_bytes_ = base_reserved_bytes;
+  spill_threshold_bytes_ = spill_threshold_bytes;
+  spill_dir_ = spill_dir.empty()
+                   ? std::filesystem::temp_directory_path().string()
+                   : std::move(spill_dir);
+}
 
 void Emitter::Emit(const int64_t* key, const int64_t* value) {
   size_t reducer =
@@ -426,11 +493,110 @@ void Emitter::Emit(const int64_t* key, const int64_t* value) {
   buf.insert(buf.end(), key, key + key_width_);
   buf.insert(buf.end(), value, value + value_width_);
   ++emitted_;
+  buffered_bytes_ +=
+      static_cast<int64_t>(key_width_ + value_width_) * sizeof(int64_t);
+  if (spill_threshold_bytes_ > 0 &&
+      buffered_bytes_ >= spill_threshold_bytes_) {
+    SpillBuffers();
+    return;
+  }
+  // No spill configured (or not yet due): account growth against the
+  // budget in chunks beyond what the engine pre-reserved for this task.
+  while (budget_ != nullptr && memory_status_.ok() &&
+         buffered_bytes_ > base_reserved_bytes_ + extra_reserved_bytes_) {
+    if (budget_->TryReserve(kEmitterAccountChunkBytes)) {
+      extra_reserved_bytes_ += kEmitterAccountChunkBytes;
+    } else if (spill_threshold_bytes_ > 0) {
+      SpillBuffers();
+      break;
+    } else {
+      memory_status_ = Status::Internal(
+          "memory budget exhausted by map output with spilling disabled; "
+          "set emitter_spill_threshold_bytes (or raise "
+          "memory_budget_bytes)");
+    }
+  }
+}
+
+void Emitter::SpillBuffers() {
+  if (buffered_bytes_ == 0 || !memory_status_.ok()) return;
+  const int pair_width = key_width_ + value_width_;
+  const int key_width = key_width_;
+  static std::atomic<uint64_t> spill_counter{0};
+  std::string path;  // created lazily: only if some buffer is non-empty
+  for (size_t r = 0; r < buffers_.size(); ++r) {
+    if (buffers_[r].empty()) continue;
+    // Sorting each run by key is the map-side half of the framework sort:
+    // runs arrive at the reducer pre-grouped, like Hadoop's spill files.
+    std::vector<int64_t> run = SortRecords(
+        std::move(buffers_[r]), pair_width,
+        [key_width](const int64_t* a, const int64_t* b) {
+          return CompareKeys(a, b, key_width) < 0;
+        });
+    if (path.empty()) {
+      path = spill_dir_ + "/casm_emit_" +
+             std::to_string(spill_counter.fetch_add(1)) + ".spill";
+      spill_files_.push_back(path);
+    }
+    Result<int64_t> offset = AppendRun(path, run);
+    if (!offset.ok()) {
+      memory_status_ = offset.status();
+      return;
+    }
+    spilled_[r].push_back(SpillSegment{spill_files_.size() - 1,
+                                       offset.value(),
+                                       static_cast<int64_t>(run.size())});
+    ++spilled_runs_;
+    spilled_records_ += static_cast<int64_t>(run.size()) / pair_width;
+    buffers_[r] = std::vector<int64_t>();  // release the moved-out shell
+  }
+  buffered_bytes_ = 0;
+  if (budget_ != nullptr) budget_->Release(extra_reserved_bytes_);
+  extra_reserved_bytes_ = 0;
+}
+
+Status Emitter::FinalSpill() {
+  if (spill_threshold_bytes_ > 0) SpillBuffers();
+  return memory_status_;
+}
+
+void Emitter::DropSpillFiles() {
+  for (const std::string& path : spill_files_) std::remove(path.c_str());
+  spill_files_.clear();
+  for (std::vector<SpillSegment>& segs : spilled_) segs.clear();
 }
 
 void Emitter::Clear() {
   emitted_ = 0;
-  for (std::vector<int64_t>& buf : buffers_) buf.clear();
+  // Release the buffers' capacity, not just their size: a retried fat
+  // task must not keep holding its worst-case footprint, and the bytes go
+  // back to the budget immediately.
+  for (std::vector<int64_t>& buf : buffers_) buf = std::vector<int64_t>();
+  buffered_bytes_ = 0;
+  DropSpillFiles();
+  if (budget_ != nullptr) budget_->Release(extra_reserved_bytes_);
+  extra_reserved_bytes_ = 0;
+  memory_status_ = Status::OK();
+}
+
+int64_t Emitter::PairsForReducer(int reducer) const {
+  const size_t r = static_cast<size_t>(reducer);
+  const int pair_width = key_width_ + value_width_;
+  int64_t int64s = static_cast<int64_t>(buffers_[r].size());
+  for (const SpillSegment& seg : spilled_[r]) int64s += seg.count_int64s;
+  return int64s / pair_width;
+}
+
+Status Emitter::GatherReducer(int reducer, std::vector<int64_t>* out) const {
+  const size_t r = static_cast<size_t>(reducer);
+  for (const SpillSegment& seg : spilled_[r]) {
+    Result<std::vector<int64_t>> run =
+        ReadRun(spill_files_[seg.file], seg.offset_int64s, seg.count_int64s);
+    CASM_RETURN_IF_ERROR(run.status());
+    out->insert(out->end(), run.value().begin(), run.value().end());
+  }
+  out->insert(out->end(), buffers_[r].begin(), buffers_[r].end());
+  return Status::OK();
 }
 
 std::vector<int64_t> GroupView::CopyValues() const {
@@ -470,6 +636,10 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   if (spec.max_task_attempts < 1) {
     return Status::InvalidArgument("max_task_attempts must be >= 1");
   }
+  if (spec.memory_budget_bytes < 0 || spec.emitter_spill_threshold_bytes < 0) {
+    return Status::InvalidArgument(
+        "memory_budget_bytes / emitter_spill_threshold_bytes must be >= 0");
+  }
   if (spec.speculative_execution) {
     if (spec.speculation_latency_multiple < 1.0) {
       return Status::InvalidArgument(
@@ -508,6 +678,26 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
 
   RetryCounters counters;
 
+  // ---- Memory accounting and admission control (DESIGN.md §8). One
+  // budget spans the whole run: emitters account their buffered pairs
+  // against it and every task execution reserves a projected footprint
+  // before starting. With no capacity the budget never blocks and
+  // peak_tracked_bytes measures the unbounded run.
+  MemoryBudget budget(spec.memory_budget_bytes);
+  int64_t spill_threshold = spec.emitter_spill_threshold_bytes;
+  if (spill_threshold <= 0 && spec.memory_budget_bytes > 0) {
+    // A bounded budget without an explicit threshold derives one: map
+    // outputs must reach disk before the shuffle, or completed mappers
+    // would pin the budget and starve reduce admission.
+    spill_threshold = std::max<int64_t>(
+        4096, spec.memory_budget_bytes / (4 * num_threads_));
+  }
+  // A spilling map task's footprint stays under the threshold plus one
+  // accounting chunk of slack; a non-spilling one reserves nothing up
+  // front and accounts its growth incrementally instead.
+  const int64_t map_reservation =
+      spill_threshold > 0 ? spill_threshold + kEmitterAccountChunkBytes : 0;
+
   // ---- Map phase: each mapper processes one input split, with failed
   // attempts replayed from a cleared Emitter. Under speculation a task
   // may run two executions; each emits into its own buffers and only the
@@ -524,9 +714,12 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     if (slot == nullptr) {
       slot = std::make_unique<Emitter>(num_reducers, spec.key_width,
                                        spec.value_width);
+      slot->ConfigureMemory(&budget, map_reservation, spill_threshold,
+                            spec.spill_dir);
     }
     Emitter* emitter = slot.get();
-    // Clear-and-replay: drop any pairs a failed attempt buffered.
+    // Clear-and-replay: drop any pairs (and spilled runs) a failed
+    // attempt produced.
     emitter->Clear();
     emitter->cancel_ = token;
     if (spec.split_fn) {
@@ -539,14 +732,23 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
       int64_t end = std::min(num_input_rows, begin + rows_per_mapper);
       if (begin < end) spec.map_fn(begin, end, emitter);
     }
+    // A spill failure (or budget exhaustion with spilling disabled) fails
+    // the attempt with the emitter's descriptive status.
+    CASM_RETURN_IF_ERROR(emitter->memory_status());
     // A cancelled attempt's output is discarded even if map_fn ran to
     // completion: the winner has already been installed.
-    return token->cancelled() ? token->status() : Status::OK();
+    if (token->cancelled()) return token->status();
+    // Final spill: a completed map task's output goes to disk so the task
+    // holds no memory while it waits for shuffle (no-op unless spilling
+    // is configured).
+    return emitter->FinalSpill();
   };
   PhaseStats map_stats;
   {
     PhaseRunner runner(spec, MapReduceTaskPhase::kMap, num_mappers, &pool,
                        &job_token, &counters);
+    runner.set_admission(&budget,
+                         [map_reservation](int) { return map_reservation; });
     Status map_status = runner.Run(map_body, &map_stats);
     metrics.task_failures = counters.failures;
     metrics.task_retries = counters.retries;
@@ -572,17 +774,33 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   for (const Emitter* e : map_out) metrics.emitted_pairs += e->emitted();
   for (int r = 0; r < num_reducers; ++r) {
     int64_t pairs = 0;
-    for (const Emitter* e : map_out) {
-      pairs +=
-          static_cast<int64_t>(e->buffers_[static_cast<size_t>(r)].size()) /
-          pair_width;
-    }
+    // Buffered and spilled pairs combined: a spilling run's workload
+    // distribution is identical to an in-memory run's.
+    for (const Emitter* e : map_out) pairs += e->PairsForReducer(r);
     metrics.reducer_pairs[static_cast<size_t>(r)] = pairs;
   }
+
+  // Budget accounting for the metrics: spill activity counts every
+  // execution (it measures I/O actually performed, losers included).
+  auto finalize_memory_metrics = [&] {
+    metrics.peak_tracked_bytes = budget.peak_used();
+    metrics.admission_waits = budget.admission_waits();
+    metrics.admission_wait_seconds = budget.admission_wait_seconds();
+    metrics.emitter_spilled_runs = 0;
+    metrics.emitter_spilled_records = 0;
+    for (const auto& slots : emitters) {
+      for (const auto& slot : slots) {
+        if (slot == nullptr) continue;
+        metrics.emitter_spilled_runs += slot->spilled_runs();
+        metrics.emitter_spilled_records += slot->spilled_records();
+      }
+    }
+  };
 
   if (spec.map_only) {
     metrics.deadline_exceeded = spec.deadline_seconds > 0 &&
                                 job_token.cancelled();
+    finalize_memory_metrics();
     metrics.total_seconds = SecondsSince(total_start);
     return metrics;
   }
@@ -604,21 +822,26 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
 
   PhaseRunner runner(spec, MapReduceTaskPhase::kReduce, num_reducers, &pool,
                      &job_token, &counters);
+  // Reduce admission: the gather buffer plus the sorted copy, both sized
+  // by the reducer's exact pair count (known after the map phase). The
+  // local evaluation behind reduce_fn is the user's to account.
+  runner.set_admission(&budget, [&metrics, pair_width](int r) {
+    return 2 * metrics.reducer_pairs[static_cast<size_t>(r)] * pair_width *
+           static_cast<int64_t>(sizeof(int64_t));
+  });
   PhaseRunner::AttemptBody reduce_body =
       [&](int r, int exec, const CancellationToken* token,
           bool* output_started) -> Status {
     ReduceExecStats& rs =
         reduce_exec_stats[static_cast<size_t>(r)][static_cast<size_t>(exec)];
     auto sort_start = std::chrono::steady_clock::now();
-    // Gather this reducer's pairs from every (winning) mapper.
-    const size_t ri = static_cast<size_t>(r);
-    size_t total = 0;
-    for (const Emitter* e : map_out) total += e->buffers_[ri].size();
+    // Gather this reducer's pairs from every (winning) mapper: in-memory
+    // buffers plus any spilled runs replayed from disk.
     std::vector<int64_t> pairs;
-    pairs.reserve(total);
+    pairs.reserve(static_cast<size_t>(
+        metrics.reducer_pairs[static_cast<size_t>(r)] * pair_width));
     for (const Emitter* e : map_out) {
-      pairs.insert(pairs.end(), e->buffers_[ri].begin(),
-                   e->buffers_[ri].end());
+      CASM_RETURN_IF_ERROR(e->GatherReducer(r, &pairs));
     }
     const int64_t count = static_cast<int64_t>(pairs.size()) / pair_width;
     if (token->cancelled()) return token->status();
@@ -716,6 +939,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   }
   metrics.deadline_exceeded =
       spec.deadline_seconds > 0 && job_token.cancelled();
+  finalize_memory_metrics();
   metrics.total_seconds = SecondsSince(total_start);
   return metrics;
 }

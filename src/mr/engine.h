@@ -48,6 +48,16 @@
 //     `reduce_fn` — losers can never contribute output, so any mix of
 //     faults, stragglers, and speculative wins yields results identical
 //     to a fault-free run.
+//
+// Memory-budgeted execution (the admission-control discipline of the
+// paper's substrate — a task never runs unless its working set fits):
+// `MapReduceSpec::memory_budget_bytes` caps the bytes tracked across the
+// whole run. Emitters account their buffered pairs and spill sorted runs
+// to disk past `emitter_spill_threshold_bytes` (replayed at shuffle);
+// map and reduce task launches reserve a projected footprint before
+// starting and queue — cancellably, deadlines honored — while the budget
+// is full. A single task whose minimum reservation exceeds the whole
+// budget fails cleanly with a descriptive Status instead of deadlocking.
 
 #ifndef CASM_MR_ENGINE_H_
 #define CASM_MR_ENGINE_H_
@@ -59,6 +69,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "mr/metrics.h"
 
@@ -96,38 +107,122 @@ using MapReduceSlowTaskInjector =
     std::function<double(MapReduceTaskPhase phase, int task, int attempt)>;
 
 /// Mapper-side sink for key/value pairs. Not thread-safe; each mapper task
-/// owns one.
+/// execution owns one.
+///
+/// Memory discipline: with a spill threshold configured (directly, or
+/// derived from `MapReduceSpec::memory_budget_bytes`), the emitter
+/// accounts its flattened-pair bytes and, past the threshold, sorts each
+/// reducer's buffered pairs by key and spills them as runs to disk (the
+/// map-side spill of Hadoop's MapTask, paper §III-A); spilled runs are
+/// replayed at shuffle. Each execution owns its runs: Clear() (the
+/// retry replay) and the destructor drop them, so a retried or
+/// speculation-losing attempt can never leak pairs into the shuffle.
 class Emitter {
  public:
   Emitter(int num_reducers, int key_width, int value_width);
+  ~Emitter();
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
 
   /// Routes (key, value) to the reducer that owns `key`. The partition is
   /// a hash of the key — the uniform random block assignment of §IV-A.
   void Emit(const int64_t* key, const int64_t* value);
 
-  /// Discards every buffered pair. The engine calls this before each map
-  /// task attempt so a retried mapper replays its split from scratch.
+  /// Discards every buffered pair, deletes this execution's spilled runs,
+  /// shrinks the per-reducer buffers back to empty capacity, and returns
+  /// any incrementally-tracked bytes to the budget. The engine calls this
+  /// before each map task attempt so a retried mapper replays its split
+  /// from scratch without holding its previous attempt's footprint.
   void Clear();
 
   int64_t emitted() const { return emitted_; }
+
+  /// Bytes currently buffered in memory (spilled bytes excluded).
+  int64_t buffered_bytes() const { return buffered_bytes_; }
+  /// Sorted runs this emitter has written to disk across its lifetime,
+  /// and the pairs they contained (cumulative; Clear() does not reset
+  /// them — the I/O happened).
+  int64_t spilled_runs() const { return spilled_runs_; }
+  int64_t spilled_records() const { return spilled_records_; }
+
+  /// Wires memory accounting: track flattened-pair bytes against `budget`
+  /// (may be null), treating `base_reserved_bytes` as already reserved by
+  /// the caller, and spill to `spill_dir` once the buffered bytes exceed
+  /// `spill_threshold_bytes` (0 disables spilling). Engine-internal, but
+  /// public so tests can drive an Emitter directly.
+  void ConfigureMemory(MemoryBudget* budget, int64_t base_reserved_bytes,
+                       int64_t spill_threshold_bytes, std::string spill_dir);
+
+  /// Spills every buffered pair (used by the engine at the end of a
+  /// successful map attempt so a completed task holds no memory while it
+  /// waits for shuffle); no-op when spilling is not configured. A non-OK
+  /// status (spill I/O failed) fails the attempt.
+  Status FinalSpill();
+
+  /// Non-OK when memory accounting failed mid-emit (spill I/O error, or
+  /// the budget was exhausted with spilling disabled). `cancelled()`
+  /// turns true as well so cooperative map loops bail out promptly; the
+  /// engine fails the attempt with this status.
+  const Status& memory_status() const { return memory_status_; }
+
+  /// Pairs destined for `reducer`, buffered and spilled combined.
+  int64_t PairsForReducer(int reducer) const;
+
+  /// Appends reducer `reducer`'s pairs — in-memory buffer plus replayed
+  /// spilled runs — onto `out` as flattened [key..., value...] records.
+  Status GatherReducer(int reducer, std::vector<int64_t>* out) const;
 
   /// True when the attempt driving this emitter has been cancelled (the
   /// job deadline expired, or this attempt lost a speculation race). Long
   /// map functions should poll this every few thousand rows and return
   /// early; the engine discards the attempt's output.
-  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  bool cancelled() const {
+    return !memory_status_.ok() ||
+           (cancel_ != nullptr && cancel_->cancelled());
+  }
   /// The driving attempt's token (null outside an engine run), for
   /// forwarding into nested cancellable work.
   const CancellationToken* cancellation_token() const { return cancel_; }
 
  private:
   friend class MapReduceEngine;
+
+  /// One spilled sorted run of a reducer's pairs inside a spill file.
+  struct SpillSegment {
+    size_t file;            // index into spill_files_
+    int64_t offset_int64s;  // where the run starts in the file
+    int64_t count_int64s;   // run length
+  };
+
+  /// Sorts and writes every non-empty reducer buffer as runs to a fresh
+  /// spill file, releases the buffers, and returns incrementally-tracked
+  /// bytes to the budget. Sets memory_status_ on I/O failure.
+  void SpillBuffers();
+  /// Deletes this execution's spill files and forgets the segments.
+  void DropSpillFiles();
+
   int key_width_;
   int value_width_;
   int64_t emitted_ = 0;
   const CancellationToken* cancel_ = nullptr;  // not owned; set per attempt
   // Per-reducer buffer of flattened [key..., value...] entries.
   std::vector<std::vector<int64_t>> buffers_;
+
+  // Memory accounting + map-side spill (see ConfigureMemory).
+  MemoryBudget* budget_ = nullptr;  // not owned
+  int64_t base_reserved_bytes_ = 0;
+  int64_t spill_threshold_bytes_ = 0;
+  std::string spill_dir_;
+  int64_t buffered_bytes_ = 0;
+  /// Bytes this emitter reserved itself beyond base_reserved_bytes_
+  /// (chunked, so emitting is not one budget lock per pair).
+  int64_t extra_reserved_bytes_ = 0;
+  int64_t spilled_runs_ = 0;
+  int64_t spilled_records_ = 0;
+  Status memory_status_;
+  std::vector<std::string> spill_files_;
+  std::vector<std::vector<SpillSegment>> spilled_;  // per reducer
 };
 
 /// A key group handed to the reduce function: `size()` values sharing one
@@ -206,6 +301,26 @@ struct MapReduceSpec {
   int64_t reducer_memory_limit_pairs = 0;
   /// Spill directory (empty = system temp dir).
   std::string spill_dir;
+
+  // ---- Memory accounting and admission control (paper §III-A: the
+  // framework never runs a task whose working set it cannot hold; see
+  // common/memory_budget.h and DESIGN.md §8).
+
+  /// Process-wide byte budget for this run: emitter buffers are tracked
+  /// against it and every task launch reserves its projected footprint
+  /// first, queueing (cancellably) when the budget is full — so
+  /// speculation's doubled executions pace themselves instead of
+  /// overcommitting. 0 = unlimited (accounting only: peak_tracked_bytes
+  /// still measures the run). A budget with no explicit
+  /// emitter_spill_threshold_bytes derives one (budget / (4 x worker
+  /// threads), floored at 4 KiB) so map outputs spill instead of pinning
+  /// the budget across the shuffle.
+  int64_t memory_budget_bytes = 0;
+  /// Map-side spill threshold per task execution, in bytes of flattened
+  /// pairs: past it the emitter sorts each reducer's buffer by key and
+  /// spills it as a run to `spill_dir`, replaying the runs at shuffle.
+  /// 0 = no map-side spilling (unless derived from memory_budget_bytes).
+  int64_t emitter_spill_threshold_bytes = 0;
 
   /// Maximum attempts per map/reduce task (>= 1); the Hadoop-style retry
   /// budget. 2 means one retry after the first failure.

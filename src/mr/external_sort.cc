@@ -79,6 +79,57 @@ class RunReader {
 
 }  // namespace
 
+std::vector<int64_t> SortRecords(std::vector<int64_t> records, int width,
+                                 const RecordLess& less) {
+  CASM_CHECK_GE(width, 1);
+  CASM_CHECK_EQ(static_cast<int64_t>(records.size()) % width, 0);
+  return SortFlat(std::move(records), width, less);
+}
+
+Result<int64_t> AppendRun(const std::string& path,
+                          const std::vector<int64_t>& records) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Internal("cannot open spill file " + path);
+  }
+  const long offset_bytes = std::ftell(file);
+  if (offset_bytes < 0) {
+    std::fclose(file);
+    return Status::Internal("cannot position in spill file " + path);
+  }
+  const size_t written =
+      std::fwrite(records.data(), sizeof(int64_t), records.size(), file);
+  std::fclose(file);
+  if (written != records.size()) {
+    return Status::Internal("short write to spill file " + path);
+  }
+  return static_cast<int64_t>(offset_bytes) /
+         static_cast<int64_t>(sizeof(int64_t));
+}
+
+Result<std::vector<int64_t>> ReadRun(const std::string& path,
+                                     int64_t offset_int64s,
+                                     int64_t count_int64s) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::Internal("cannot reopen spill file " + path);
+  }
+  std::vector<int64_t> out(static_cast<size_t>(count_int64s));
+  const int64_t offset_bytes =
+      offset_int64s * static_cast<int64_t>(sizeof(int64_t));
+  if (std::fseek(file, static_cast<long>(offset_bytes), SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot seek in spill file " + path);
+  }
+  const size_t read =
+      std::fread(out.data(), sizeof(int64_t), out.size(), file);
+  std::fclose(file);
+  if (read != out.size()) {
+    return Status::Internal("short read from spill file " + path);
+  }
+  return out;
+}
+
 Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
                                           int width, const RecordLess& less,
                                           const ExternalSortOptions& options,

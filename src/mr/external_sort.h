@@ -34,6 +34,24 @@ struct ExternalSortStats {
 /// Record comparator over two record pointers (each `width` int64s).
 using RecordLess = std::function<bool(const int64_t*, const int64_t*)>;
 
+/// In-memory sort of a flat buffer of `width`-int64 records by `less`
+/// (the run-formation step of the external sort, exposed for map-side
+/// spilling: the Emitter sorts each run by key before writing it).
+std::vector<int64_t> SortRecords(std::vector<int64_t> records, int width,
+                                 const RecordLess& less);
+
+/// Appends `records` (raw int64s) to the spill file at `path`, creating
+/// it if needed. Returns the offset — in int64s from the start of the
+/// file — at which the run begins.
+Result<int64_t> AppendRun(const std::string& path,
+                          const std::vector<int64_t>& records);
+
+/// Reads `count_int64s` int64s starting `offset_int64s` into a spill file
+/// written by AppendRun.
+Result<std::vector<int64_t>> ReadRun(const std::string& path,
+                                     int64_t offset_int64s,
+                                     int64_t count_int64s);
+
 /// Sorts `records` (flattened rows of `width` int64s) by `less`, spilling
 /// to disk when the memory budget is exceeded. Returns the sorted flat
 /// buffer. `stats` may be null.

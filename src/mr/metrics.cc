@@ -42,6 +42,16 @@ std::string MapReduceMetrics::ToString() const {
     out += " cancelled_attempts=" + std::to_string(cancelled_attempts);
   }
   if (deadline_exceeded) out += " deadline_exceeded=1";
+  out += " peak_tracked_bytes=" + std::to_string(peak_tracked_bytes);
+  if (emitter_spilled_runs > 0) {
+    out += " emitter_spilled_runs=" + std::to_string(emitter_spilled_runs);
+    out +=
+        " emitter_spilled_records=" + std::to_string(emitter_spilled_records);
+  }
+  if (admission_waits > 0) {
+    out += " admission_waits=" + std::to_string(admission_waits);
+    out += " admission_wait_s=" + std::to_string(admission_wait_seconds);
+  }
   out += " map_attempt_p50_s=" + std::to_string(map_attempt_p50_seconds);
   out += " map_attempt_max_s=" + std::to_string(map_attempt_max_seconds);
   out += " reduce_attempt_p50_s=" + std::to_string(reduce_attempt_p50_seconds);
@@ -70,6 +80,13 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   }
   spilled_runs += other.spilled_runs;
   spilled_records += other.spilled_records;
+  // Sequential jobs do not hold their budgets concurrently, so the
+  // sequence's peak is the max over jobs, not a sum.
+  peak_tracked_bytes = std::max(peak_tracked_bytes, other.peak_tracked_bytes);
+  emitter_spilled_runs += other.emitter_spilled_runs;
+  emitter_spilled_records += other.emitter_spilled_records;
+  admission_waits += other.admission_waits;
+  admission_wait_seconds += other.admission_wait_seconds;
   task_failures += other.task_failures;
   task_retries += other.task_retries;
   speculative_attempts += other.speculative_attempts;

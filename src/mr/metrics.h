@@ -48,6 +48,23 @@ struct MapReduceMetrics {
   int64_t spilled_runs = 0;
   int64_t spilled_records = 0;
 
+  // Memory accounting and admission control (common/memory_budget.h).
+  /// High-water mark of bytes tracked against the run's memory budget
+  /// (emitter buffers + task footprint reservations). With
+  /// `memory_budget_bytes` set this never exceeds the budget; with no
+  /// budget it measures the unbounded run's peak.
+  int64_t peak_tracked_bytes = 0;
+  /// Map-side spill activity: sorted runs the emitters wrote to disk past
+  /// `emitter_spill_threshold_bytes`, and the pairs they contained
+  /// (replayed at shuffle; 0 when spilling is off).
+  int64_t emitter_spilled_runs = 0;
+  int64_t emitter_spilled_records = 0;
+  /// Task launches that had to queue for budget admission, and the total
+  /// time they spent waiting. Speculation's doubled executions queue here
+  /// instead of overcommitting memory.
+  int64_t admission_waits = 0;
+  double admission_wait_seconds = 0;
+
   /// Task attempts that failed (injected faults, non-OK statuses, or
   /// exceptions thrown by user map/reduce functions). Cancelled attempts
   /// (speculation losers, deadline aborts) are not failures and are
