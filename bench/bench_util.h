@@ -155,6 +155,25 @@ struct JsonRow {
   std::vector<std::pair<std::string, double>> fields;
 };
 
+/// Appends the per-phase attempt-duration histogram of `metrics` (count
+/// and p50/p90/p99/max seconds over every attempt, from the engine's
+/// merged digests) to a JSON row's fields. Phases with no recorded
+/// attempts contribute nothing.
+inline void AppendAttemptHistogram(const MapReduceMetrics& metrics,
+                                   JsonRow* row) {
+  auto append = [row](const char* phase, const QuantileSketch& d) {
+    if (d.count() == 0) return;
+    const std::string p(phase);
+    row->fields.emplace_back(p + "_attempts", static_cast<double>(d.count()));
+    row->fields.emplace_back(p + "_attempt_p50_seconds", d.Quantile(0.5));
+    row->fields.emplace_back(p + "_attempt_p90_seconds", d.Quantile(0.9));
+    row->fields.emplace_back(p + "_attempt_p99_seconds", d.Quantile(0.99));
+    row->fields.emplace_back(p + "_attempt_max_seconds", d.Max());
+  };
+  append("map", metrics.map_attempt_digest);
+  append("reduce", metrics.reduce_attempt_digest);
+}
+
 /// Writes `rows` to <dir>/<name>.json when CASM_BENCH_JSON names a
 /// directory (CI's bench-smoke job uploads these as workflow artifacts);
 /// no-op otherwise. Labels and keys must not need JSON escaping.

@@ -104,7 +104,7 @@ int main() {
   std::vector<JsonRow> json;
   auto json_row = [](const char* label, int64_t budget,
                      const MapReduceMetrics& m) {
-    return JsonRow{label,
+    JsonRow row{label,
                    {{"budget_bytes", static_cast<double>(budget)},
                     {"peak_tracked_bytes",
                      static_cast<double>(m.peak_tracked_bytes)},
@@ -116,6 +116,8 @@ int main() {
                      static_cast<double>(m.admission_waits)},
                     {"admission_wait_seconds", m.admission_wait_seconds},
                     {"total_seconds", m.total_seconds}}};
+    AppendAttemptHistogram(m, &row);
+    return row;
   };
   json.push_back(json_row("unbounded", 0, free_metrics));
   for (const Rung& rung : ladder) {

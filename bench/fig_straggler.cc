@@ -18,13 +18,17 @@
 //                    than the delay: the run fails fast with
 //                    DeadlineExceeded instead of hanging.
 //
-// The modeled cluster response (mr/cluster_model.h with
-// straggler_slowdown) is printed alongside, showing the same recovery in
-// the analytic model the figure harnesses use.
+// The modeled cluster response (mr/cluster_model.h) is printed
+// alongside, showing the same recovery in the analytic model the figure
+// harnesses use. Its straggler_slowdown parameter is not restated by
+// hand: the no-speculation run records a trace (obs/trace.h) and
+// FitStragglerSlowdown fits the slowdown from the measured attempt
+// durations, so the modeled and measured columns share one source.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace casm;
@@ -70,14 +74,22 @@ int main() {
   };
 
   // ---- straggler, no speculation: the tail absorbs the full delay.
+  // A locally-enabled recorder traces this run regardless of CASM_TRACE;
+  // FitStragglerSlowdown reads the attempt durations off the trace below.
+  TraceRecorder no_spec_trace;
+  no_spec_trace.set_enabled(true);
   ParallelEvalOptions straggler = base;
   straggler.slow_task_injector = slow_primary_map;
+  straggler.trace = &no_spec_trace;
   Result<ParallelEvalResult> no_spec =
       EvaluateParallel(wf, table, plan, straggler);
   CASM_CHECK(no_spec.ok()) << no_spec.status().ToString();
+  const double fitted_slowdown =
+      FitStragglerSlowdown(no_spec_trace.Snapshot());
 
   // ---- straggler + speculation: a backup execution recovers the tail.
   ParallelEvalOptions speculative = straggler;
+  speculative.trace = nullptr;  // back to the CASM_TRACE-global recorder
   speculative.speculative_execution = true;
   speculative.speculation_latency_multiple = 3.0;
   speculative.speculation_min_completed_fraction = 0.5;
@@ -100,6 +112,7 @@ int main() {
 
   // ---- deadline shorter than the injected delay: fail fast, not hang.
   ParallelEvalOptions deadlined = straggler;
+  deadlined.trace = nullptr;
   deadlined.deadline_seconds = delay / 2;
   Result<ParallelEvalResult> dead =
       EvaluateParallel(wf, table, plan, deadlined);
@@ -122,10 +135,14 @@ int main() {
   std::printf("%-24s%16s%20s   (%s)\n", "deadline < delay", "failed fast",
               "-", StatusCodeToString(dead.status().code()));
 
-  // Modeled cluster view: one node 20x slow, with and without the
-  // scheduler's speculative re-execution.
+  // Modeled cluster view: one slow node, with and without the scheduler's
+  // speculative re-execution. The slowdown is the one fitted from the
+  // measured no-speculation trace, not the injected 20x restated by hand.
+  std::printf("# fitted straggler_slowdown: %.1fx "
+              "(FitStragglerSlowdown over the no-speculation run trace)\n",
+              fitted_slowdown);
   ClusterCostParams params = ClusterCostParams::Default();
-  params.straggler_slowdown = 20.0;
+  params.straggler_slowdown = fitted_slowdown;
   params.speculation_detection_multiple = 3.0;
   const double healthy = ModeledResponseSeconds(
       clean_metrics, cluster.num_mappers, params);
@@ -137,25 +154,30 @@ int main() {
               "straggler+speculation=%.1f\n",
               healthy, slowed, recovered);
 
+  JsonRow clean_row{"clean",
+                    {{"measured_wall_seconds", clean_metrics.total_seconds},
+                     {"speculative_wins",
+                      static_cast<double>(clean_metrics.speculative_wins)},
+                     {"modeled_seconds", healthy}}};
+  AppendAttemptHistogram(clean_metrics, &clean_row);
+  JsonRow no_spec_row{
+      "straggler_no_speculation",
+      {{"measured_wall_seconds", no_spec.value().metrics.total_seconds},
+       {"speculative_wins",
+        static_cast<double>(no_spec.value().metrics.speculative_wins)},
+       {"modeled_seconds", slowed},
+       {"fitted_straggler_slowdown", fitted_slowdown}}};
+  AppendAttemptHistogram(no_spec.value().metrics, &no_spec_row);
+  JsonRow spec_row{
+      "straggler_speculation",
+      {{"measured_wall_seconds", spec.value().metrics.total_seconds},
+       {"speculative_wins",
+        static_cast<double>(spec.value().metrics.speculative_wins)},
+       {"modeled_seconds", recovered}}};
+  AppendAttemptHistogram(spec.value().metrics, &spec_row);
   MaybeWriteJson(
       "fig_straggler",
-      {JsonRow{"clean",
-               {{"measured_wall_seconds", clean_metrics.total_seconds},
-                {"speculative_wins",
-                 static_cast<double>(clean_metrics.speculative_wins)},
-                {"modeled_seconds", healthy}}},
-       JsonRow{"straggler_no_speculation",
-               {{"measured_wall_seconds",
-                 no_spec.value().metrics.total_seconds},
-                {"speculative_wins",
-                 static_cast<double>(
-                     no_spec.value().metrics.speculative_wins)},
-                {"modeled_seconds", slowed}}},
-       JsonRow{"straggler_speculation",
-               {{"measured_wall_seconds", spec.value().metrics.total_seconds},
-                {"speculative_wins",
-                 static_cast<double>(spec.value().metrics.speculative_wins)},
-                {"modeled_seconds", recovered}}},
+      {clean_row, no_spec_row, spec_row,
        JsonRow{"deadline_below_delay",
                {{"injected_delay_seconds", delay},
                 {"failed_fast", 1.0}}}});

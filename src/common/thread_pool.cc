@@ -33,10 +33,19 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     CASM_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   work_available_.notify_one();
+}
+
+void ThreadPool::set_queue_latency_hook(std::function<void(double)> hook) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_latency_hook_ =
+      hook ? std::make_shared<const std::function<void(double)>>(
+                 std::move(hook))
+           : nullptr;
 }
 
 void ThreadPool::RecordError(Status status) {
@@ -99,12 +108,21 @@ Status ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<const std::function<void(double)>> hook;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown_ with a drained queue
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
+      enqueued = queue_.front().enqueued;
       queue_.pop_front();
+      hook = queue_latency_hook_;
+    }
+    if (hook != nullptr) {
+      (*hook)(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            enqueued)
+                  .count());
     }
     // A throwing task must not escape the worker thread (std::terminate);
     // capture the failure for the next Wait() instead.

@@ -12,10 +12,12 @@
 #ifndef CASM_COMMON_THREAD_POOL_H_
 #define CASM_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -63,18 +65,37 @@ class ThreadPool {
   Status ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                      const CancellationToken* cancel);
 
+  /// Installs an instrumentation hook invoked on the worker immediately
+  /// before each submitted task runs, with the seconds the task spent
+  /// queued (queue-to-start latency). Pass an empty function to
+  /// uninstall. The hook must be thread-safe (workers invoke it
+  /// concurrently) and must not call back into this pool. This keeps the
+  /// pool free of any dependency on the tracing layer: the MapReduce
+  /// engine installs a hook that records "pool" spans while a traced run
+  /// is in flight.
+  void set_queue_latency_hook(std::function<void(double)> hook);
+
  private:
+  /// A queued task plus its enqueue time (for the queue-latency hook).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
   void RecordError(Status status);  // first error wins; thread-safe
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + running
   bool shutdown_ = false;
   Status first_error_;  // first captured task failure since the last Wait()
+  /// Shared so a worker can invoke the hook outside mu_ while
+  /// set_queue_latency_hook swaps it concurrently.
+  std::shared_ptr<const std::function<void(double)>> queue_latency_hook_;
 };
 
 }  // namespace casm

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "mr/engine.h"
+#include "obs/trace.h"
 
 namespace casm {
 namespace {
@@ -67,7 +68,18 @@ Status RunBasicJob(const Workflow& wf, int index, const Table& table,
     std::unique_lock<std::mutex> lock(mu);
     out.emplace(std::move(coords), acc.Result());
   };
+  TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  const bool tracing = trace->enabled();
+  const double job_start = tracing ? trace->NowSeconds() : 0;
   Result<MapReduceMetrics> run = engine->Run(spec, table.num_rows());
+  if (tracing) {
+    trace->RecordSpan("job", "basic " + m.name, job_start, trace->NowSeconds(),
+                      /*task=*/-1, /*attempt=*/0,
+                      run.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+                      "key=" + m.granularity.ToString(schema),
+                      /*job=*/index);
+  }
   if (!run.ok()) {
     return AnnotateJobError(run.status(), "basic", m.name, index);
   }
@@ -261,7 +273,18 @@ Status RunCompositeJob(const Workflow& wf, int index,
     std::unique_lock<std::mutex> lock(mu);
     for (auto& [coords, value] : local) out.emplace(coords, value);
   };
+  TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  const bool tracing = trace->enabled();
+  const double job_start = tracing ? trace->NowSeconds() : 0;
   Result<MapReduceMetrics> run = engine->Run(spec, num_input);
+  if (tracing) {
+    trace->RecordSpan("job", "composite " + m.name, job_start,
+                      trace->NowSeconds(), /*task=*/-1, /*attempt=*/0,
+                      run.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+                      "key=" + join_gran.ToString(schema),
+                      /*job=*/index);
+  }
   if (!run.ok()) {
     return AnnotateJobError(run.status(), "composite", m.name, index);
   }

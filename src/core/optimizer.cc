@@ -49,6 +49,15 @@ Result<std::vector<ExecutionPlan>> CandidatePlans(
     return Status::InvalidArgument(
         "cost model needs the input size (num_records)");
   }
+  // The enumeration below costs NumBaseBlocks / cost-model calls per
+  // candidate; for wide keys that is long enough that a caller tearing
+  // down a run (deadline, user abort) wants the search to stop too.
+  auto poll_cancel = [&options]() -> Status {
+    return options.cancel != nullptr && options.cancel->cancelled()
+               ? options.cancel->status()
+               : Status::OK();
+  };
+  CASM_RETURN_IF_ERROR(poll_cancel());
   const Schema& schema = *wf.schema();
   const DistributionKey minimal = DeriveDistributionKeys(wf).query_key;
   CASM_CHECK(IsFeasible(wf, minimal))
@@ -71,6 +80,7 @@ Result<std::vector<ExecutionPlan>> CandidatePlans(
   const double occupancy =
       std::clamp(options.estimated_block_occupancy, 1e-6, 1.0);
   for (int keep : annotated) {
+    CASM_RETURN_IF_ERROR(poll_cancel());
     DistributionKey key = RollUpAnnotated(schema, minimal, keep);
     const int64_t n_g = key.NumBaseBlocks(schema);
     const int64_t d = key.component(keep).width();
@@ -99,6 +109,7 @@ Result<std::vector<ExecutionPlan>> CandidatePlans(
   plans.push_back(MakePlan(schema, options, rolled, 1));
 
   for (const ExecutionPlan& plan : plans) {
+    CASM_RETURN_IF_ERROR(poll_cancel());
     Status feasible = CheckFeasible(wf, plan.key);
     CASM_CHECK(feasible.ok()) << "optimizer produced an infeasible plan "
                               << plan.ToString(schema) << ": "

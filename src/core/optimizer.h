@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/plan.h"
 #include "measure/workflow.h"
@@ -34,6 +35,10 @@ struct OptimizerOptions {
   /// Forwarded into every emitted plan.
   bool early_aggregation = false;
   bool combined_sort = false;
+  /// Optional cancellation token polled during plan enumeration; once
+  /// tripped, CandidatePlans (and the entry points built on it) fail
+  /// with the token's status instead of finishing the search. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Enumerates feasible candidate plans for `wf`, diversified over the

@@ -15,6 +15,7 @@
 #include "core/keygen.h"
 #include "local/derivation.h"
 #include "mr/engine.h"
+#include "obs/trace.h"
 
 namespace casm {
 namespace {
@@ -85,6 +86,7 @@ void ApplyEngineOptions(const ParallelEvalOptions& options,
   spec->speculation_min_runtime_seconds =
       options.speculation_min_runtime_seconds;
   spec->slow_task_injector = options.slow_task_injector;
+  spec->trace = options.trace;
 }
 
 Result<ParallelEvalResult> EvaluateParallel(
@@ -298,7 +300,17 @@ Result<ParallelEvalResult> EvaluateParallel(
     };
   }
 
+  TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  const bool tracing = trace->enabled();
+  const double eval_start = tracing ? trace->NowSeconds() : 0;
   Result<MapReduceMetrics> run = engine.Run(spec, table.num_rows());
+  if (tracing) {
+    trace->RecordSpan("eval", "evaluate-parallel", eval_start,
+                      trace->NowSeconds(), /*task=*/-1, /*attempt=*/0,
+                      run.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+                      "key=" + plan.key.ToString(schema));
+  }
   if (!run.ok()) {
     // The engine message already names the failing phase and task id.
     return Status(run.status().code(),

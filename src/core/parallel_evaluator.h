@@ -25,6 +25,8 @@
 
 namespace casm {
 
+class TraceRecorder;
+
 /// How much of the pipeline to run (the Fig 4(d) cost breakdown).
 enum class ParallelEvalPhase {
   kMapOnly,       // fetch records + key generation only
@@ -80,6 +82,12 @@ struct ParallelEvalOptions {
   double speculation_min_runtime_seconds = 0.05;
   /// Optional deterministic latency injection (tests, chaos benches).
   MapReduceSlowTaskInjector slow_task_injector;
+
+  /// Trace recorder for the run's spans (obs/trace.h). Null uses the
+  /// process-global recorder, which records only under CASM_TRACE; point
+  /// it at a locally-enabled recorder to trace one evaluation (the
+  /// straggler bench fits its slowdown parameter that way). Not owned.
+  TraceRecorder* trace = nullptr;
 };
 
 /// Copies the robustness knobs of `options` (retry budget, injectors,

@@ -87,8 +87,9 @@ void DeriveCompositeCoverage(const Workflow& wf, int index,
   for (auto& [coords, ids] : out) SortUnique(&ids);
 }
 
-MeasureResultSet EvaluateImpl(const Workflow& wf, const Table& table,
-                              CoverageInfo* coverage) {
+Result<MeasureResultSet> EvaluateImpl(const Workflow& wf, const Table& table,
+                                      CoverageInfo* coverage,
+                                      const CancellationToken* cancel) {
   const Schema& schema = *wf.schema();
   MeasureResultSet results(wf.num_measures());
   if (coverage != nullptr) {
@@ -96,10 +97,14 @@ MeasureResultSet EvaluateImpl(const Workflow& wf, const Table& table,
   }
 
   for (int i = 0; i < wf.num_measures(); ++i) {
+    if (cancel != nullptr && cancel->cancelled()) return cancel->status();
     const Measure& m = wf.measure(i);
     if (m.op == MeasureOp::kAggregateRecords) {
       std::unordered_map<Coords, Accumulator, CoordsHash> acc;
       for (int64_t r = 0; r < table.num_rows(); ++r) {
+        if ((r & 4095) == 0 && cancel != nullptr && cancel->cancelled()) {
+          return cancel->status();
+        }
         const int64_t* row = table.row(r);
         Coords coords = RegionOfRecord(schema, m.granularity, row);
         auto it = acc.find(coords);
@@ -128,14 +133,23 @@ MeasureResultSet EvaluateImpl(const Workflow& wf, const Table& table,
 }  // namespace
 
 MeasureResultSet EvaluateReference(const Workflow& wf, const Table& table) {
-  return EvaluateImpl(wf, table, nullptr);
+  Result<MeasureResultSet> r = EvaluateImpl(wf, table, nullptr, nullptr);
+  CASM_CHECK(r.ok());  // a null token never cancels
+  return std::move(r).value();
+}
+
+Result<MeasureResultSet> EvaluateReferenceCancellable(
+    const Workflow& wf, const Table& table, const CancellationToken* cancel) {
+  return EvaluateImpl(wf, table, nullptr, cancel);
 }
 
 MeasureResultSet EvaluateReferenceWithCoverage(const Workflow& wf,
                                                const Table& table,
                                                CoverageInfo* coverage) {
   CASM_CHECK(coverage != nullptr);
-  return EvaluateImpl(wf, table, coverage);
+  Result<MeasureResultSet> r = EvaluateImpl(wf, table, coverage, nullptr);
+  CASM_CHECK(r.ok());
+  return std::move(r).value();
 }
 
 }  // namespace casm

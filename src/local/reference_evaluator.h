@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "data/table.h"
 #include "local/measure_table.h"
@@ -32,7 +33,15 @@ struct CoverageInfo {
 /// Evaluates `wf` over `table` by global grouping.
 MeasureResultSet EvaluateReference(const Workflow& wf, const Table& table);
 
-/// As above, additionally filling `coverage`.
+/// As above, polling `cancel` (may be null) every few thousand records
+/// and between measures; once the token trips, evaluation stops and the
+/// token's status (Cancelled / DeadlineExceeded) is returned. This keeps
+/// the naive baseline responsive under the same deadlines and abort
+/// paths the parallel evaluator honors.
+Result<MeasureResultSet> EvaluateReferenceCancellable(
+    const Workflow& wf, const Table& table, const CancellationToken* cancel);
+
+/// As EvaluateReference, additionally filling `coverage`.
 MeasureResultSet EvaluateReferenceWithCoverage(const Workflow& wf,
                                                const Table& table,
                                                CoverageInfo* coverage);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
@@ -64,6 +65,30 @@ double ModeledStragglerResponseSeconds(const MapReduceMetrics& metrics,
   const double recovered =
       params.speculation_detection_multiple * median + worst;
   return base + std::min(slowed, recovered);
+}
+
+double FitStragglerSlowdown(const std::vector<TraceEvent>& events) {
+  std::vector<double> natural;  // attempts that ran to completion
+  double max_elapsed = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.outcome == TraceOutcome::kNone) continue;
+    if (std::strcmp(ev.category, "map") != 0 &&
+        std::strcmp(ev.category, "reduce") != 0) {
+      continue;
+    }
+    max_elapsed = std::max(max_elapsed, ev.duration_seconds);
+    if (ev.outcome != TraceOutcome::kCancelled) {
+      natural.push_back(ev.duration_seconds);
+    }
+  }
+  if (natural.size() < 2) return 1.0;
+  const size_t mid = natural.size() / 2;
+  std::nth_element(natural.begin(),
+                   natural.begin() + static_cast<ptrdiff_t>(mid),
+                   natural.end());
+  const double median = natural[mid];
+  if (median <= 1e-9) return 1.0;
+  return std::max(1.0, max_elapsed / median);
 }
 
 }  // namespace casm

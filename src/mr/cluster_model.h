@@ -11,8 +11,10 @@
 #define CASM_MR_CLUSTER_MODEL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "mr/metrics.h"
+#include "obs/trace.h"
 
 namespace casm {
 
@@ -66,6 +68,20 @@ double ModeledStragglerResponseSeconds(const MapReduceMetrics& metrics,
                                        int num_map_slots,
                                        const ClusterCostParams& params,
                                        bool with_speculation);
+
+/// Fits `ClusterCostParams::straggler_slowdown` from a run trace
+/// (obs/trace.h): the ratio of the slowest observed map/reduce attempt
+/// to the median attempt duration. The median is taken over attempts
+/// that ran to natural completion (ok, failed, retried,
+/// speculative-win); the max additionally considers cancelled attempts'
+/// elapsed time, because a straggler killed by a speculation win ran
+/// *at least* that long — dropping it would understate the slowdown.
+/// Returns 1.0 (a healthy cluster) when the trace holds fewer than two
+/// such attempts or the median is ~0. This is how `fig_straggler`'s
+/// modeled and measured columns share one parameter source: the bench
+/// fits the slowdown from the measured no-speculation run and feeds it
+/// to ModeledStragglerResponseSeconds.
+double FitStragglerSlowdown(const std::vector<TraceEvent>& events);
 
 }  // namespace casm
 

@@ -18,9 +18,12 @@
 
 #include "common/cancellation.h"
 #include "common/logging.h"
+#include "common/math.h"
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "mr/external_sort.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace casm {
 namespace {
@@ -44,20 +47,23 @@ int CompareKeys(const int64_t* a, const int64_t* b, int width) {
   return 0;
 }
 
-/// Median of `v` (0 for an empty vector); reorders `v`.
-double MedianOf(std::vector<double>* v) {
-  if (v->empty()) return 0;
-  const size_t mid = v->size() / 2;
-  std::nth_element(v->begin(), v->begin() + static_cast<ptrdiff_t>(mid),
-                   v->end());
-  return (*v)[mid];
-}
-
 /// Shared failure/retry accounting across a job's task attempts.
 struct RetryCounters {
   std::mutex mu;
   int64_t failures = 0;
   int64_t retries = 0;
+};
+
+/// Timestamps (trace time base) of an execution's final, successful
+/// attempt. The retry loop cannot classify a success — whether it is an
+/// "ok", a "speculative-win", or a too-late "cancelled" loser is decided
+/// by the phase runner under its lock — so the span is handed back here
+/// and recorded by the caller once the race is settled.
+struct SuccessSpan {
+  bool valid = false;
+  int attempt = 0;
+  double start_seconds = 0;
+  double end_seconds = 0;
 };
 
 /// Runs one task execution as a sequence of attempts. Each attempt first
@@ -72,21 +78,41 @@ struct RetryCounters {
 /// `attempt_offset` shifts the attempt numbers seen by the injectors so a
 /// speculative backup execution (offset = max_task_attempts) is
 /// distinguishable from the primary (offset = 0).
+///
+/// Tracing: every attempt that reaches its injectors gets a span in
+/// `trace` (category = phase name) tagged retried / failed / cancelled;
+/// the successful attempt's span goes to `success_span` instead (see
+/// above).
 Status RunTaskWithRetry(
     const MapReduceSpec& spec, MapReduceTaskPhase phase, int task,
     int attempt_offset, const CancellationToken* token,
-    RetryCounters* counters,
+    RetryCounters* counters, TraceRecorder* trace, SuccessSpan* success_span,
     const std::function<Status(int attempt, bool* output_started)>&
         attempt_body) {
+  const char* phase_name = TaskPhaseName(phase);
   for (int attempt = 1;; ++attempt) {
     if (token != nullptr && token->cancelled()) return token->status();
     const int injector_attempt = attempt_offset + attempt;
+    const bool tracing = trace != nullptr && trace->enabled();
+    const double span_start = tracing ? trace->NowSeconds() : 0;
+    auto record_attempt = [&](TraceOutcome outcome, std::string detail) {
+      trace->RecordSpan(phase_name,
+                        std::string(phase_name) + " t" + std::to_string(task),
+                        span_start, trace->NowSeconds(), task,
+                        injector_attempt, outcome, std::move(detail));
+    };
     bool output_started = false;
     Status status;
     if (spec.slow_task_injector) {
       const double delay =
           spec.slow_task_injector(phase, task, injector_attempt);
       if (delay > 0 && !InterruptibleSleep(delay, token)) {
+        // Cancelled inside the injected delay: the attempt was already in
+        // flight, so it still gets a span.
+        if (tracing) {
+          record_attempt(TraceOutcome::kCancelled,
+                         token->status().message());
+        }
         return token->status();
       }
     }
@@ -103,14 +129,26 @@ Status RunTaskWithRetry(
         status = Status::Internal("uncaught non-std exception");
       }
     }
-    if (status.ok()) return status;
-    if (IsCancellation(status)) return status;
+    if (status.ok()) {
+      if (tracing && success_span != nullptr) {
+        *success_span = SuccessSpan{true, injector_attempt, span_start,
+                                    trace->NowSeconds()};
+      }
+      return status;
+    }
+    if (IsCancellation(status)) {
+      if (tracing) {
+        record_attempt(TraceOutcome::kCancelled, status.message());
+      }
+      return status;
+    }
     {
       std::unique_lock<std::mutex> lock(counters->mu);
       ++counters->failures;
     }
     const bool budget_left = attempt < spec.max_task_attempts;
     if (output_started || !budget_left) {
+      if (tracing) record_attempt(TraceOutcome::kFailed, status.message());
       std::string msg = std::string(TaskPhaseName(phase)) + " task " +
                         std::to_string(task) + " failed after " +
                         std::to_string(attempt) + " attempt(s): " +
@@ -120,6 +158,7 @@ Status RunTaskWithRetry(
       }
       return Status(status.code(), std::move(msg));
     }
+    if (tracing) record_attempt(TraceOutcome::kRetried, status.message());
     std::unique_lock<std::mutex> lock(counters->mu);
     ++counters->retries;
   }
@@ -134,6 +173,10 @@ struct PhaseStats {
   double cpu_seconds = 0;  // summed over every execution, losers included
   double attempt_p50_seconds = 0;
   double attempt_max_seconds = 0;
+  /// Duration digest of every execution that ran to natural completion
+  /// (the population behind the p50/max above); merged into the metrics'
+  /// per-phase attempt digests.
+  QuantileSketch attempt_durations;
   /// Per task: the execution (0 = primary, 1 = backup) whose results are
   /// installed. Always set for every task when the phase succeeds.
   std::vector<int> winner_exec;
@@ -160,12 +203,14 @@ class PhaseRunner {
 
   PhaseRunner(const MapReduceSpec& spec, MapReduceTaskPhase phase,
               int num_tasks, ThreadPool* pool,
-              const CancellationToken* job_token, RetryCounters* counters)
+              const CancellationToken* job_token, RetryCounters* counters,
+              TraceRecorder* trace)
       : spec_(spec),
         phase_(phase),
         num_tasks_(num_tasks),
         pool_(pool),
         counters_(counters),
+        trace_(trace),
         phase_token_(job_token) {
     tasks_.reserve(static_cast<size_t>(num_tasks));
     for (int t = 0; t < num_tasks; ++t) {
@@ -195,6 +240,8 @@ class PhaseRunner {
   Status Run(const AttemptBody& body, PhaseStats* out) {
     body_ = &body;
     stats_.winner_exec.assign(static_cast<size_t>(num_tasks_), -1);
+    const bool tracing = trace_ != nullptr && trace_->enabled();
+    const double phase_span_start = tracing ? trace_->NowSeconds() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (int t = 0; t < num_tasks_; ++t) LaunchLocked(t, 0);
@@ -216,11 +263,16 @@ class PhaseRunner {
         cv_.wait(lock);
       }
     }
-    std::sort(all_attempt_seconds_.begin(), all_attempt_seconds_.end());
-    if (!all_attempt_seconds_.empty()) {
-      stats_.attempt_p50_seconds =
-          all_attempt_seconds_[all_attempt_seconds_.size() / 2];
-      stats_.attempt_max_seconds = all_attempt_seconds_.back();
+    if (attempt_sketch_.count() > 0) {
+      stats_.attempt_p50_seconds = attempt_sketch_.Quantile(0.5);
+      stats_.attempt_max_seconds = attempt_sketch_.Max();
+    }
+    stats_.attempt_durations = attempt_sketch_;
+    if (tracing) {
+      trace_->RecordSpan("phase", TaskPhaseName(phase_), phase_span_start,
+                         trace_->NowSeconds(), /*task=*/-1, /*attempt=*/0,
+                         TraceOutcome::kNone,
+                         "tasks=" + std::to_string(num_tasks_));
     }
     *out = std::move(stats_);
     if (!first_failure_.ok()) {
@@ -281,10 +333,18 @@ class PhaseRunner {
     // straggler to the speculation policy. A reservation that can never
     // fit fails the execution with the budget's descriptive status; a
     // cancellation (deadline, lost race) while waiting unparks promptly.
+    const bool tracing = trace_ != nullptr && trace_->enabled();
     const int64_t admission =
         budget_ != nullptr && projected_bytes_ ? projected_bytes_(t) : 0;
     if (admission > 0) {
+      const double wait_start = tracing ? trace_->NowSeconds() : 0;
       Status s = budget_->Reserve(admission, token);
+      if (tracing) {
+        trace_->RecordSpan("memory", "admission", wait_start,
+                           trace_->NowSeconds(), t, /*attempt=*/0,
+                           TraceOutcome::kNone,
+                           "bytes=" + std::to_string(admission));
+      }
       if (!s.ok()) {
         std::unique_lock<std::mutex> lock(mu_);
         FinishLocked(t, e, std::move(s), /*ran=*/false, 0.0);
@@ -304,15 +364,31 @@ class PhaseRunner {
       task.start_time[e] = std::chrono::steady_clock::now();
     }
     const auto start = std::chrono::steady_clock::now();
+    SuccessSpan success_span;
     Status s = RunTaskWithRetry(
         spec_, phase_, t, /*attempt_offset=*/e * spec_.max_task_attempts,
-        token, counters_, [&](int /*attempt*/, bool* output_started) {
+        token, counters_, trace_, &success_span,
+        [&](int /*attempt*/, bool* output_started) {
           return (*body_)(t, e, token, output_started);
         });
     const double seconds = SecondsSince(start);
     if (admission > 0) budget_->Release(admission);
+    const bool succeeded = s.ok();
     std::unique_lock<std::mutex> lock(mu_);
     FinishLocked(t, e, std::move(s), /*ran=*/true, seconds);
+    if (succeeded && success_span.valid) {
+      // Only now is the race settled: a success that did not win its
+      // task is a speculation loser whose output was discarded.
+      const bool won = stats_.winner_exec[static_cast<size_t>(t)] == e;
+      const TraceOutcome outcome =
+          !won ? TraceOutcome::kCancelled
+               : (e == 1 ? TraceOutcome::kSpeculativeWin : TraceOutcome::kOk);
+      trace_->RecordSpan(TaskPhaseName(phase_),
+                         std::string(TaskPhaseName(phase_)) + " t" +
+                             std::to_string(t),
+                         success_span.start_seconds, success_span.end_seconds,
+                         t, success_span.attempt, outcome);
+    }
   }
 
   void FinishLocked(int t, int e, Status s, bool ran, double seconds) {
@@ -321,7 +397,7 @@ class PhaseRunner {
     --in_flight_;
     if (ran) {
       stats_.cpu_seconds += seconds;
-      if (!IsCancellation(s)) all_attempt_seconds_.push_back(seconds);
+      if (!IsCancellation(s)) attempt_sketch_.Add(seconds);
     }
     if (s.ok()) {
       if (!task.resolved) {
@@ -329,7 +405,7 @@ class PhaseRunner {
         task.resolved = true;
         ++resolved_;
         stats_.winner_exec[static_cast<size_t>(t)] = e;
-        completed_seconds_.push_back(seconds);
+        completed_sketch_.Add(seconds);
         if (e == 1) ++stats_.speculative_wins;
         for (int other = 0; other < 2; ++other) {
           if (other != e && task.token[other] != nullptr) {
@@ -390,12 +466,12 @@ class PhaseRunner {
   void MaybeLaunchBackupsLocked() {
     if (!spec_.speculative_execution) return;
     if (!first_failure_.ok() || phase_token_.cancelled()) return;
-    const int completed = static_cast<int>(completed_seconds_.size());
+    const int completed = static_cast<int>(completed_sketch_.count());
     const int needed = std::max<int>(
         1, static_cast<int>(std::ceil(spec_.speculation_min_completed_fraction *
                                       num_tasks_)));
     if (completed < needed) return;
-    const double median = MedianOf(&completed_seconds_);
+    const double median = completed_sketch_.Quantile(0.5);
     const double threshold =
         std::max(spec_.speculation_latency_multiple * median,
                  spec_.speculation_min_runtime_seconds);
@@ -422,6 +498,7 @@ class PhaseRunner {
   int num_tasks_;
   ThreadPool* pool_;
   RetryCounters* counters_;
+  TraceRecorder* trace_;  // not owned; engine-resolved, never null
   const AttemptBody* body_ = nullptr;
   MemoryBudget* budget_ = nullptr;  // not owned; null = no admission
   std::function<int64_t(int)> projected_bytes_;
@@ -432,8 +509,8 @@ class PhaseRunner {
   std::mutex mu_;  // guards everything below
   std::condition_variable cv_;
   std::vector<std::unique_ptr<TaskState>> tasks_;
-  std::vector<double> completed_seconds_;    // winning-execution durations
-  std::vector<double> all_attempt_seconds_;  // every ran-to-completion exec
+  QuantileSketch completed_sketch_;  // winning-execution durations
+  QuantileSketch attempt_sketch_;    // every ran-to-completion execution
   int resolved_ = 0;
   int in_flight_ = 0;
   Status first_failure_;
@@ -477,13 +554,14 @@ Emitter::~Emitter() {
 void Emitter::ConfigureMemory(MemoryBudget* budget,
                               int64_t base_reserved_bytes,
                               int64_t spill_threshold_bytes,
-                              std::string spill_dir) {
+                              std::string spill_dir, TraceRecorder* trace) {
   budget_ = budget;
   base_reserved_bytes_ = base_reserved_bytes;
   spill_threshold_bytes_ = spill_threshold_bytes;
   spill_dir_ = spill_dir.empty()
                    ? std::filesystem::temp_directory_path().string()
                    : std::move(spill_dir);
+  trace_ = trace;
 }
 
 void Emitter::Emit(const int64_t* key, const int64_t* value) {
@@ -522,6 +600,8 @@ void Emitter::SpillBuffers() {
   if (buffered_bytes_ == 0 || !memory_status_.ok()) return;
   const int pair_width = key_width_ + value_width_;
   const int key_width = key_width_;
+  const int64_t runs_before = spilled_runs_;
+  const int64_t records_before = spilled_records_;
   static std::atomic<uint64_t> spill_counter{0};
   std::string path;  // created lazily: only if some buffer is non-empty
   for (size_t r = 0; r < buffers_.size(); ++r) {
@@ -553,6 +633,12 @@ void Emitter::SpillBuffers() {
   buffered_bytes_ = 0;
   if (budget_ != nullptr) budget_->Release(extra_reserved_bytes_);
   extra_reserved_bytes_ = 0;
+  if (trace_ != nullptr && trace_->enabled() && spilled_runs_ > runs_before) {
+    trace_->RecordInstant(
+        "memory", "emitter-spill", /*task=*/-1,
+        "runs=" + std::to_string(spilled_runs_ - runs_before) +
+            " records=" + std::to_string(spilled_records_ - records_before));
+  }
 }
 
 Status Emitter::FinalSpill() {
@@ -666,6 +752,28 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
   ThreadPool& pool = *pool_;
 
+  // Run tracing: resolve the recorder once (the global one answers a
+  // single relaxed load when CASM_TRACE is unset) and freeze `tracing`
+  // for the run. The pool's queue-latency hook is installed only while a
+  // traced run is in flight and removed on every exit path.
+  TraceRecorder* const trace =
+      spec.trace != nullptr ? spec.trace : TraceRecorder::Global();
+  const bool tracing = trace->enabled();
+  const double trace_run_start = tracing ? trace->NowSeconds() : 0;
+  if (tracing) {
+    pool.set_queue_latency_hook([trace](double queued_seconds) {
+      const double now = trace->NowSeconds();
+      trace->RecordSpan("pool", "queue-wait", now - queued_seconds, now);
+    });
+  }
+  struct TraceGuard {
+    ThreadPool* pool;
+    bool active;
+    ~TraceGuard() {
+      if (active) pool->set_queue_latency_hook({});
+    }
+  } trace_guard{&pool, tracing};
+
   // The job token chains the caller's token (external cancellation) and
   // the wall-clock deadline; every execution token descends from it.
   CancellationToken job_token(spec.cancel);
@@ -715,7 +823,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
       slot = std::make_unique<Emitter>(num_reducers, spec.key_width,
                                        spec.value_width);
       slot->ConfigureMemory(&budget, map_reservation, spill_threshold,
-                            spec.spill_dir);
+                            spec.spill_dir, tracing ? trace : nullptr);
     }
     Emitter* emitter = slot.get();
     // Clear-and-replay: drop any pairs (and spilled runs) a failed
@@ -746,7 +854,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   PhaseStats map_stats;
   {
     PhaseRunner runner(spec, MapReduceTaskPhase::kMap, num_mappers, &pool,
-                       &job_token, &counters);
+                       &job_token, &counters, trace);
     runner.set_admission(&budget,
                          [map_reservation](int) { return map_reservation; });
     Status map_status = runner.Run(map_body, &map_stats);
@@ -757,6 +865,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     metrics.cancelled_attempts += map_stats.cancelled_attempts;
     metrics.map_attempt_p50_seconds = map_stats.attempt_p50_seconds;
     metrics.map_attempt_max_seconds = map_stats.attempt_max_seconds;
+    metrics.map_attempt_digest = map_stats.attempt_durations;
     if (!map_status.ok()) return map_status;
   }
   metrics.map_seconds = SecondsSince(map_start);
@@ -797,10 +906,30 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     }
   };
 
+  // On success: close the run's "job" span and digest this run's events
+  // into the human-readable report carried by the metrics. The snapshot
+  // is filtered by time because the global recorder accumulates across
+  // runs in one process.
+  auto finalize_trace = [&] {
+    if (!tracing) return;
+    trace->RecordSpan("job", "mr-run", trace_run_start, trace->NowSeconds(),
+                      /*task=*/-1, /*attempt=*/0, TraceOutcome::kNone,
+                      "mappers=" + std::to_string(num_mappers) +
+                          " reducers=" + std::to_string(num_reducers));
+    std::vector<TraceEvent> events = trace->Snapshot();
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [&](const TraceEvent& ev) {
+                                  return ev.end_seconds() < trace_run_start;
+                                }),
+                 events.end());
+    metrics.run_report_summary = BuildRunReport(events).Summary();
+  };
+
   if (spec.map_only) {
     metrics.deadline_exceeded = spec.deadline_seconds > 0 &&
                                 job_token.cancelled();
     finalize_memory_metrics();
+    finalize_trace();
     metrics.total_seconds = SecondsSince(total_start);
     return metrics;
   }
@@ -821,7 +950,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
       static_cast<size_t>(num_reducers));
 
   PhaseRunner runner(spec, MapReduceTaskPhase::kReduce, num_reducers, &pool,
-                     &job_token, &counters);
+                     &job_token, &counters, trace);
   // Reduce admission: the gather buffer plus the sorted copy, both sized
   // by the reducer's exact pair count (known after the map phase). The
   // local evaluation behind reduce_fn is the user's to account.
@@ -860,6 +989,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     ExternalSortOptions sort_options;
     sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
     sort_options.temp_dir = spec.spill_dir;
+    sort_options.trace = tracing ? trace : nullptr;
     ExternalSortStats spill;
     Result<std::vector<int64_t>> sort_result = ExternalSort(
         std::move(pairs), pair_width, pair_less, sort_options, &spill);
@@ -924,6 +1054,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   metrics.cancelled_attempts += reduce_stats.cancelled_attempts;
   metrics.reduce_attempt_p50_seconds = reduce_stats.attempt_p50_seconds;
   metrics.reduce_attempt_max_seconds = reduce_stats.attempt_max_seconds;
+  metrics.reduce_attempt_digest = reduce_stats.attempt_durations;
   if (!reduce_status.ok()) return reduce_status;
   metrics.reduce_phase_wall_seconds = SecondsSince(reduce_phase_start);
   for (int r = 0; r < num_reducers; ++r) {
@@ -940,6 +1071,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   metrics.deadline_exceeded =
       spec.deadline_seconds > 0 && job_token.cancelled();
   finalize_memory_metrics();
+  finalize_trace();
   metrics.total_seconds = SecondsSince(total_start);
   return metrics;
 }

@@ -76,6 +76,7 @@
 namespace casm {
 
 class ThreadPool;
+class TraceRecorder;
 
 /// The engine's key-to-reducer hash (reducer = hash % num_reducers).
 /// Exposed so that the skew module's simulated dispatch predicts exactly
@@ -149,10 +150,12 @@ class Emitter {
   /// Wires memory accounting: track flattened-pair bytes against `budget`
   /// (may be null), treating `base_reserved_bytes` as already reserved by
   /// the caller, and spill to `spill_dir` once the buffered bytes exceed
-  /// `spill_threshold_bytes` (0 disables spilling). Engine-internal, but
-  /// public so tests can drive an Emitter directly.
+  /// `spill_threshold_bytes` (0 disables spilling). `trace` (may be null)
+  /// receives a "memory" instant per spill. Engine-internal, but public
+  /// so tests can drive an Emitter directly.
   void ConfigureMemory(MemoryBudget* budget, int64_t base_reserved_bytes,
-                       int64_t spill_threshold_bytes, std::string spill_dir);
+                       int64_t spill_threshold_bytes, std::string spill_dir,
+                       TraceRecorder* trace = nullptr);
 
   /// Spills every buffered pair (used by the engine at the end of a
   /// successful map attempt so a completed task holds no memory while it
@@ -206,6 +209,7 @@ class Emitter {
   int value_width_;
   int64_t emitted_ = 0;
   const CancellationToken* cancel_ = nullptr;  // not owned; set per attempt
+  TraceRecorder* trace_ = nullptr;             // not owned; may be null
   // Per-reducer buffer of flattened [key..., value...] entries.
   std::vector<std::vector<int64_t>> buffers_;
 
@@ -362,6 +366,13 @@ struct MapReduceSpec {
 
   /// Optional deterministic latency injection (tests, chaos benches).
   MapReduceSlowTaskInjector slow_task_injector;
+
+  /// Run-trace recorder (obs/trace.h): the engine records per-attempt
+  /// spans (task id, attempt number, outcome), admission waits, spills,
+  /// and pool queue latency into it. null = use TraceRecorder::Global(),
+  /// which is enabled only when CASM_TRACE is set — so the default costs
+  /// one relaxed load per would-be event. Not owned; must outlive Run().
+  TraceRecorder* trace = nullptr;
 };
 
 /// Executes MapReduce jobs on an internal thread pool. The pool is created

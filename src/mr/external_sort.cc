@@ -11,6 +11,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace casm {
 namespace {
@@ -171,6 +172,11 @@ Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
     if (stats != nullptr) {
       ++stats->runs_spilled;
       stats->records_spilled += run_count;
+    }
+    if (options.trace != nullptr && options.trace->enabled()) {
+      options.trace->RecordInstant(
+          "memory", "sort-spill", /*task=*/-1,
+          "records=" + std::to_string(run_count));
     }
   }
   records.clear();

@@ -18,12 +18,17 @@
 
 namespace casm {
 
+class TraceRecorder;
+
 struct ExternalSortOptions {
   /// Maximum records held in memory at once; 0 = unlimited (pure
   /// in-memory sort).
   int64_t memory_limit_records = 0;
   /// Directory for spill files; empty = std::filesystem::temp_directory_path().
   std::string temp_dir;
+  /// Optional run-trace recorder (obs/trace.h): each spilled run is
+  /// recorded as a "memory" instant. Not owned; may be null.
+  TraceRecorder* trace = nullptr;
 };
 
 struct ExternalSortStats {

@@ -62,6 +62,22 @@ std::string MapReduceMetrics::ToString() const {
   out += " reduce_cpu_s=" + std::to_string(reduce_seconds);
   out += " reduce_phase_wall_s=" + std::to_string(reduce_phase_wall_seconds);
   out += " total_s=" + std::to_string(total_seconds);
+  auto histogram_line = [](const char* phase, const QuantileSketch& d) {
+    std::string line = std::string("\n  ") + phase + " attempts: n=" +
+                       std::to_string(d.count());
+    line += " p50=" + std::to_string(d.Quantile(0.5));
+    line += " p90=" + std::to_string(d.Quantile(0.9));
+    line += " p99=" + std::to_string(d.Quantile(0.99));
+    line += " max=" + std::to_string(d.Max());
+    return line;
+  };
+  if (map_attempt_digest.count() > 0) {
+    out += histogram_line("map", map_attempt_digest);
+  }
+  if (reduce_attempt_digest.count() > 0) {
+    out += histogram_line("reduce", reduce_attempt_digest);
+  }
+  if (!run_report_summary.empty()) out += "\n" + run_report_summary;
   return out;
 }
 
@@ -93,14 +109,18 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   speculative_wins += other.speculative_wins;
   cancelled_attempts += other.cancelled_attempts;
   deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
-  map_attempt_p50_seconds =
-      std::max(map_attempt_p50_seconds, other.map_attempt_p50_seconds);
-  map_attempt_max_seconds =
-      std::max(map_attempt_max_seconds, other.map_attempt_max_seconds);
-  reduce_attempt_p50_seconds =
-      std::max(reduce_attempt_p50_seconds, other.reduce_attempt_p50_seconds);
-  reduce_attempt_max_seconds =
-      std::max(reduce_attempt_max_seconds, other.reduce_attempt_max_seconds);
+  // Merge the attempt-duration digests and recompute the scalar
+  // quantiles from the union, so a sequence's p50 is the median over
+  // every attempt in the sequence — not the max of per-job medians.
+  map_attempt_digest.Merge(other.map_attempt_digest);
+  reduce_attempt_digest.Merge(other.reduce_attempt_digest);
+  map_attempt_p50_seconds = map_attempt_digest.Quantile(0.5);
+  map_attempt_max_seconds = map_attempt_digest.Max();
+  reduce_attempt_p50_seconds = reduce_attempt_digest.Quantile(0.5);
+  reduce_attempt_max_seconds = reduce_attempt_digest.Max();
+  if (run_report_summary.empty()) {
+    run_report_summary = other.run_report_summary;
+  }
   map_seconds += other.map_seconds;
   map_cpu_seconds += other.map_cpu_seconds;
   shuffle_sort_seconds += other.shuffle_sort_seconds;

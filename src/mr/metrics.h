@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "common/math.h"
+
 namespace casm {
 
 struct MapReduceMetrics {
@@ -91,11 +93,24 @@ struct MapReduceMetrics {
   /// completion (successes and non-cancelled failures; mid-flight-
   /// cancelled attempts are excluded because their durations measure the
   /// cancellation latency, not the work). Under Accumulate() these are
-  /// max-over-jobs, not a recomputed quantile.
+  /// recomputed from the merged digests below, so a multi-job sequence
+  /// reports true sequence-wide quantiles (not the old max-over-jobs
+  /// approximation).
   double map_attempt_p50_seconds = 0;
   double map_attempt_max_seconds = 0;
   double reduce_attempt_p50_seconds = 0;
   double reduce_attempt_max_seconds = 0;
+  /// The full attempt-duration distributions behind the scalars above
+  /// (same population). Merged under Accumulate(); ToString() renders
+  /// them as per-phase p50/p90/p99/max histogram lines.
+  QuantileSketch map_attempt_digest;
+  QuantileSketch reduce_attempt_digest;
+
+  /// Human-readable per-run timeline summary (obs/run_report.h), filled
+  /// by the engine when run tracing is enabled and appended by
+  /// ToString(). Accumulate() keeps the first non-empty summary (the
+  /// digests above are what merge across jobs).
+  std::string run_report_summary;
 
   // Phase timings (see the header comment for wall vs cpu-sum semantics).
   double map_seconds = 0;      // wall clock of the map phase

@@ -1,0 +1,131 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace casm {
+namespace {
+
+std::string Secs(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4fs", v);
+  return buf;
+}
+
+PhaseAttemptHistogram* PhaseFor(RunReport* report, const char* category) {
+  for (PhaseAttemptHistogram& h : report->phases) {
+    if (h.phase == category) return &h;
+  }
+  report->phases.emplace_back();
+  report->phases.back().phase = category;
+  return &report->phases.back();
+}
+
+}  // namespace
+
+const PhaseAttemptHistogram* RunReport::FindPhase(
+    const std::string& phase) const {
+  for (const PhaseAttemptHistogram& h : phases) {
+    if (h.phase == phase) return &h;
+  }
+  return nullptr;
+}
+
+std::string RunReport::Summary() const {
+  if (phases.empty() && admission_waits == 0 && spill_events == 0 &&
+      pool_queue_spans == 0) {
+    return std::string();
+  }
+  std::string out = "run report: " +
+                    Secs(trace_end_seconds - trace_begin_seconds) +
+                    " traced";
+  for (const PhaseAttemptHistogram& h : phases) {
+    out += "\n  " + h.phase + ": " + std::to_string(h.attempts) +
+           " attempt(s) [" + std::to_string(h.ok) + " ok, " +
+           std::to_string(h.retried) + " retried, " +
+           std::to_string(h.failed) + " failed, " +
+           std::to_string(h.speculative_wins) + " speculative-win, " +
+           std::to_string(h.cancelled) + " cancelled]";
+    if (h.durations.count() > 0) {
+      out += " duration p50=" + Secs(h.durations.Quantile(0.5)) +
+             " p90=" + Secs(h.durations.Quantile(0.9)) +
+             " p99=" + Secs(h.durations.Quantile(0.99)) +
+             " max=" + Secs(h.durations.Max());
+    }
+  }
+  if (admission_waits > 0 || spill_events > 0) {
+    out += "\n  memory: " + std::to_string(admission_waits) +
+           " admission wait(s) (" + Secs(admission_wait_seconds) +
+           " waiting), " + std::to_string(spill_events) + " spill event(s)";
+  }
+  if (pool_queue_spans > 0) {
+    out += "\n  pool: " + std::to_string(pool_queue_spans) +
+           " queue-wait(s) (" + Secs(pool_queue_seconds) + " total)";
+  }
+  return out;
+}
+
+RunReport BuildRunReport(const std::vector<TraceEvent>& events) {
+  RunReport report;
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (first) {
+      report.trace_begin_seconds = ev.start_seconds;
+      report.trace_end_seconds = ev.end_seconds();
+      first = false;
+    } else {
+      report.trace_begin_seconds =
+          std::min(report.trace_begin_seconds, ev.start_seconds);
+      report.trace_end_seconds =
+          std::max(report.trace_end_seconds, ev.end_seconds());
+    }
+    const bool is_attempt =
+        ev.outcome != TraceOutcome::kNone &&
+        (std::strcmp(ev.category, "map") == 0 ||
+         std::strcmp(ev.category, "reduce") == 0);
+    if (is_attempt) {
+      PhaseAttemptHistogram* h = PhaseFor(&report, ev.category);
+      ++h->attempts;
+      switch (ev.outcome) {
+        case TraceOutcome::kOk:
+          ++h->ok;
+          break;
+        case TraceOutcome::kFailed:
+          ++h->failed;
+          break;
+        case TraceOutcome::kRetried:
+          ++h->retried;
+          break;
+        case TraceOutcome::kSpeculativeWin:
+          ++h->speculative_wins;
+          break;
+        case TraceOutcome::kCancelled:
+          ++h->cancelled;
+          break;
+        case TraceOutcome::kNone:
+          break;
+      }
+      if (ev.outcome != TraceOutcome::kCancelled) {
+        h->durations.Add(ev.duration_seconds);
+      }
+      continue;
+    }
+    if (std::strcmp(ev.category, "memory") == 0) {
+      if (ev.name == "admission") {
+        ++report.admission_waits;
+        report.admission_wait_seconds += ev.duration_seconds;
+      } else if (ev.instant) {
+        ++report.spill_events;
+      }
+    } else if (std::strcmp(ev.category, "pool") == 0 && !ev.instant) {
+      ++report.pool_queue_spans;
+      report.pool_queue_seconds += ev.duration_seconds;
+    }
+  }
+  return report;
+}
+
+}  // namespace casm

@@ -335,5 +335,103 @@ TEST(ThreadPoolTest, CancellableParallelForRunsCleanWithLiveToken) {
   EXPECT_EQ(visited.load(), 256);
 }
 
+TEST(ThreadPoolTest, QueueLatencyHookSeesEveryTaskAndUninstallsCleanly) {
+  ThreadPool pool(2);
+  std::atomic<int> observed{0};
+  pool.set_queue_latency_hook([&](double queued_seconds) {
+    EXPECT_GE(queued_seconds, 0.0);
+    ++observed;
+  });
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.ParallelFor(64, [&](size_t) { ++ran; }).ok());
+  EXPECT_EQ(ran.load(), 64);
+  const int seen = observed.load();
+  EXPECT_GT(seen, 0);
+  // An empty hook uninstalls: later tasks are no longer observed.
+  pool.set_queue_latency_hook(nullptr);
+  ASSERT_TRUE(pool.ParallelFor(64, [&](size_t) { ++ran; }).ok());
+  EXPECT_EQ(observed.load(), seen);
+}
+
+TEST(QuantileSketchTest, ExactQuantilesUnderCap) {
+  QuantileSketch sketch;
+  for (int i = 100; i >= 1; --i) sketch.Add(i);  // 1..100, reversed
+  EXPECT_EQ(sketch.count(), 100);
+  EXPECT_DOUBLE_EQ(sketch.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(sketch.Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(sketch.Mean(), 50.5);
+  // Upper-median convention: sorted[floor(q*n)].
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.9), 91.0);
+}
+
+TEST(QuantileSketchTest, MatchesEngineMedianConventionForOddAndEvenN) {
+  // The engine's speculation policy used sorted[n/2]; the sketch must
+  // reproduce it bit-for-bit below the cap so replacing the ad-hoc
+  // median changed no behavior.
+  for (int n : {1, 2, 3, 4, 5, 10, 11}) {
+    QuantileSketch sketch;
+    std::vector<double> values;
+    for (int i = 0; i < n; ++i) {
+      values.push_back(i * 3.5);
+      sketch.Add(i * 3.5);
+    }
+    EXPECT_DOUBLE_EQ(sketch.Quantile(0.5),
+                     values[static_cast<size_t>(n) / 2])
+        << "n=" << n;
+  }
+}
+
+TEST(QuantileSketchTest, ReservoirPastCapStaysApproximatelyCorrect) {
+  QuantileSketch sketch(256);
+  for (int i = 0; i < 100000; ++i) sketch.Add(i);
+  EXPECT_EQ(sketch.count(), 100000);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 99999.0);  // exact despite sampling
+  EXPECT_DOUBLE_EQ(sketch.Min(), 0.0);
+  // The sampled median of a uniform stream lands near the true median;
+  // a generous band keeps this deterministic test robust (the sketch RNG
+  // is fixed-seed, so this cannot flake).
+  EXPECT_NEAR(sketch.Quantile(0.5), 50000.0, 15000.0);
+}
+
+TEST(QuantileSketchTest, MergeConcatenatesUnderCap) {
+  QuantileSketch a, b;
+  for (int i = 0; i < 10; ++i) a.Add(i);        // 0..9
+  for (int i = 10; i < 20; ++i) b.Add(i);       // 10..19
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 19.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 190.0);
+}
+
+TEST(QuantileSketchTest, MergeIntoEmptyAndFromEmpty) {
+  QuantileSketch empty, filled;
+  for (int i = 1; i <= 5; ++i) filled.Add(i);
+  QuantileSketch target;
+  target.Merge(filled);
+  EXPECT_EQ(target.count(), 5);
+  EXPECT_DOUBLE_EQ(target.Quantile(0.5), 3.0);
+  target.Merge(empty);  // no-op
+  EXPECT_EQ(target.count(), 5);
+}
+
+TEST(QuantileSketchTest, MergePastCapSubsamplesProportionally) {
+  QuantileSketch a(128), b(128);
+  for (int i = 0; i < 10000; ++i) a.Add(0.0);
+  for (int i = 0; i < 10000; ++i) b.Add(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20000);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 100.0);
+  // Equal-weight halves: the median is one of the two values, and the
+  // quartiles must see both sides survive the subsample.
+  EXPECT_DOUBLE_EQ(a.Quantile(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.95), 100.0);
+}
+
 }  // namespace
 }  // namespace casm

@@ -192,6 +192,54 @@ TEST(ReferenceEvaluatorTest, CoverageSetsTrackContributingRecords) {
             (std::vector<int64_t>{0, 1}));
 }
 
+TEST(ReferenceEvaluatorTest, CancellableOverloadMatchesPlainEvaluation) {
+  SchemaPtr schema = TestSchema();
+  Table table(schema);
+  table.AppendRow({1, 0});
+  table.AppendRow({2, 5});
+  table.AppendRow({9, 1});
+
+  WorkflowBuilder b(schema);
+  b.AddBasic("sum", Gran(schema, "bucket", "hour"), AggregateFn::kSum, "X");
+  Workflow wf = std::move(b).Build().value();
+
+  MeasureResultSet plain = EvaluateReference(wf, table);
+  CancellationToken live;
+  Result<MeasureResultSet> with_token =
+      EvaluateReferenceCancellable(wf, table, &live);
+  ASSERT_TRUE(with_token.ok()) << with_token.status();
+  EXPECT_EQ(with_token->values(0).size(), plain.values(0).size());
+  for (const auto& [coords, value] : plain.values(0)) {
+    EXPECT_DOUBLE_EQ(with_token->values(0).at(coords), value);
+  }
+  // A null token is also accepted (never cancels).
+  EXPECT_TRUE(EvaluateReferenceCancellable(wf, table, nullptr).ok());
+}
+
+TEST(ReferenceEvaluatorTest, TrippedTokenStopsEvaluation) {
+  SchemaPtr schema = TestSchema();
+  Table table(schema);
+  table.AppendRow({1, 0});
+
+  WorkflowBuilder b(schema);
+  b.AddBasic("sum", Gran(schema, "bucket", "hour"), AggregateFn::kSum, "X");
+  Workflow wf = std::move(b).Build().value();
+
+  CancellationToken token;
+  token.Cancel();
+  Result<MeasureResultSet> result =
+      EvaluateReferenceCancellable(wf, table, &token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  CancellationToken expired;
+  expired.set_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  result = EvaluateReferenceCancellable(wf, table, &expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
 TEST(MeasureResultSetTest, MergeDisjointDetectsDuplicates) {
   MeasureResultSet a(1), b(1), c(1);
   a.mutable_values(0).emplace(Coords{1}, 2.0);

@@ -300,6 +300,46 @@ TEST(MetricsTest, AccumulateAddsUp) {
   EXPECT_EQ(a.MaxReducerPairs(), 17);
 }
 
+TEST(MetricsTest, AccumulateMergesAttemptDigestsNotMaxOfMedians) {
+  // Job a: map attempts [1, 1, 1]; job b: [5, 5, 5]. The sequence's p50
+  // is the median over all six attempts (upper median = 5), computed
+  // from the merged digest — the old max-over-jobs semantics happened to
+  // agree here, but the quantile must come from the union, which shows
+  // on the asymmetric case below.
+  MapReduceMetrics a, b;
+  for (int i = 0; i < 3; ++i) a.map_attempt_digest.Add(1.0);
+  for (int i = 0; i < 3; ++i) b.map_attempt_digest.Add(5.0);
+  a.map_attempt_p50_seconds = 1.0;
+  a.map_attempt_max_seconds = 1.0;
+  b.map_attempt_p50_seconds = 5.0;
+  b.map_attempt_max_seconds = 5.0;
+  a.Accumulate(b);
+  EXPECT_EQ(a.map_attempt_digest.count(), 6);
+  EXPECT_DOUBLE_EQ(a.map_attempt_p50_seconds, 5.0);  // sorted[3] of 6
+  EXPECT_DOUBLE_EQ(a.map_attempt_max_seconds, 5.0);
+
+  // Asymmetric counts: one 9-attempt job at 1s and one 1-attempt job at
+  // 100s. Max-of-medians would say 100; the merged-digest median is 1.
+  MapReduceMetrics c, d;
+  for (int i = 0; i < 9; ++i) c.reduce_attempt_digest.Add(1.0);
+  d.reduce_attempt_digest.Add(100.0);
+  c.reduce_attempt_p50_seconds = 1.0;
+  d.reduce_attempt_p50_seconds = 100.0;
+  c.Accumulate(d);
+  EXPECT_DOUBLE_EQ(c.reduce_attempt_p50_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(c.reduce_attempt_max_seconds, 100.0);
+
+  // The run-report summary of the first traced job in a sequence wins.
+  MapReduceMetrics e, f;
+  f.run_report_summary = "from f";
+  e.Accumulate(f);
+  EXPECT_EQ(e.run_report_summary, "from f");
+  MapReduceMetrics g;
+  g.run_report_summary = "from g";
+  g.Accumulate(f);
+  EXPECT_EQ(g.run_report_summary, "from g");
+}
+
 
 TEST(EngineTest, SplitFnControlsMapperRanges) {
   MapReduceEngine engine(2);

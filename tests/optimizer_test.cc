@@ -108,6 +108,44 @@ TEST(OptimizerTest, ValidatesOptions) {
   EXPECT_FALSE(OptimizePlan(wf, Opts(8, 0)).ok());
 }
 
+TEST(OptimizerTest, TrippedTokenCancelsPlanSearch) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  OptimizerOptions opts = Opts(8, 1000000);
+  CancellationToken token;
+  token.Cancel();
+  opts.cancel = &token;
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kCancelled);
+  Result<std::vector<ExecutionPlan>> candidates = CandidatePlans(wf, opts);
+  ASSERT_FALSE(candidates.ok());
+  EXPECT_EQ(candidates.status().code(), StatusCode::kCancelled);
+}
+
+TEST(OptimizerTest, ExpiredDeadlineTokenCancelsPlanSearchWithItsReason) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  OptimizerOptions opts = Opts(8, 1000000);
+  CancellationToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  opts.cancel = &token;
+  Result<ExecutionPlan> plan = OptimizePlan(wf, opts);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(OptimizerTest, LiveTokenLeavesPlanSearchUnchanged) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  Result<ExecutionPlan> bare = OptimizePlan(wf, Opts(8, 1000000));
+  ASSERT_TRUE(bare.ok());
+  OptimizerOptions opts = Opts(8, 1000000);
+  CancellationToken token;
+  opts.cancel = &token;
+  Result<ExecutionPlan> with_token = OptimizePlan(wf, opts);
+  ASSERT_TRUE(with_token.ok());
+  EXPECT_EQ(with_token->ToString(*wf.schema()), bare->ToString(*wf.schema()));
+}
+
 TEST(OptimizerTest, MoreReducersPreferSmallerClustering) {
   // With more reducers, parallelism matters more, so the optimal cf should
   // not grow.
