@@ -51,6 +51,9 @@ int main() {
   ParallelEvalOptions eval;
   eval.num_mappers = 8;
   eval.num_reducers = 8;
+  // Durable result checkpointing when CASM_CHECKPOINT_DIR is set: a
+  // rerun of the same (query, input) restores instead of recomputing.
+  eval.checkpoint = CheckpointOptionsFromEnv();
   Result<ParallelEvalResult> result =
       EvaluateParallel(workflow, log, plan.value(), eval);
   if (!result.ok()) {

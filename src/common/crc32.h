@@ -1,0 +1,28 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// CRC-32 (the IEEE 802.3 polynomial, as used by zlib and HDFS block
+// checksums) over byte buffers. The DFS volume stamps every stored block
+// and every manifest with one so torn or bit-rotted writes are detected
+// on read instead of silently corrupting restored results.
+
+#ifndef CASM_COMMON_CRC32_H_
+#define CASM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace casm {
+
+/// CRC-32 of `size` bytes at `data`, continuing from `seed` (pass the
+/// previous call's return value to checksum a buffer in pieces; the
+/// default seed starts a fresh checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace casm
+
+#endif  // CASM_COMMON_CRC32_H_

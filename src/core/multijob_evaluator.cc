@@ -6,11 +6,14 @@
 #include <bit>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/logging.h"
 #include "mr/engine.h"
+#include "mr/external_sort.h"
 #include "obs/trace.h"
 
 namespace casm {
@@ -108,7 +111,12 @@ Status RunCompositeJob(const Workflow& wf, int index,
     }
   }
 
-  // Materialize the job input: one row per (edge, source result).
+  // Materialize the job input: one row per (edge, source result). The
+  // rows come out in the source maps' iteration order, which is not
+  // reproducible across processes (and differs between a computed map
+  // and one restored from a checkpoint); sort them into (edge, coords)
+  // order so a resumed run feeds every downstream job bit-identical
+  // float accumulation sequences.
   std::vector<int64_t> input;
   for (size_t ei = 0; ei < m.edges.size(); ++ei) {
     const MeasureEdge& e = m.edges[ei];
@@ -118,6 +126,11 @@ Status RunCompositeJob(const Workflow& wf, int index,
       input.push_back(std::bit_cast<int64_t>(value));
     }
   }
+  input = SortRecords(std::move(input), row_width,
+                      [row_width](const int64_t* a, const int64_t* b) {
+                        return std::lexicographical_compare(
+                            a, a + row_width, b, b + row_width);
+                      });
   const int64_t num_input = static_cast<int64_t>(input.size()) / row_width;
 
   std::mutex mu;
@@ -304,8 +317,52 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
   MapReduceEngine engine(options.num_threads);
   MultiJobResult out;
   out.results = MeasureResultSet(wf.num_measures());
+
+  // Open the checkpoint log up front so restore verification (entry
+  // scan, fingerprint check, block checksums) happens before any work.
+  std::optional<CheckpointLog> ckpt;
+  if (options.checkpoint.enabled()) {
+    CASM_ASSIGN_OR_RETURN(
+        CheckpointLog log,
+        CheckpointLog::Open(options.checkpoint,
+                            FingerprintQuery(wf, table)));
+    ckpt.emplace(std::move(log));
+  }
+  TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
+
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < wf.num_measures(); ++i) {
+    const std::string& name = wf.measure(i).name;
+    if (ckpt.has_value()) {
+      // Restore before spending any deadline budget: a resumed run
+      // should finish even when the leftover budget could not re-run
+      // the restored jobs. A failed restore (NotFound = never
+      // committed; anything else = torn/corrupt/stale entry) simply
+      // recomputes — corruption must never surface as wrong results.
+      const bool tracing = trace->enabled();
+      const double restore_start = tracing ? trace->NowSeconds() : 0;
+      int64_t bytes_restored = 0;
+      Result<MeasureValueMap> restored =
+          ckpt->TryRestoreJob(i, name, &bytes_restored);
+      if (tracing) {
+        trace->RecordSpan("ckpt", "ckpt-restore " + name, restore_start,
+                          trace->NowSeconds(), /*task=*/-1, /*attempt=*/0,
+                          restored.ok() ? TraceOutcome::kOk
+                                        : TraceOutcome::kFailed,
+                          restored.ok()
+                              ? "bytes=" + std::to_string(bytes_restored)
+                              : restored.status().ToString(),
+                          /*job=*/i);
+      }
+      if (restored.ok()) {
+        out.results.mutable_values(i) = std::move(restored).value();
+        ++out.jobs_restored;
+        ++out.total_metrics.checkpoint_jobs_restored;
+        out.total_metrics.checkpoint_bytes_restored += bytes_restored;
+        continue;
+      }
+    }
     // The caller's deadline budgets the whole job sequence: each job gets
     // what the previous jobs left over, and a sequence that exhausts the
     // budget between jobs fails here rather than starting one that cannot
@@ -329,6 +386,29 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
                                            &out.results, &out.total_metrics));
     }
     ++out.jobs;
+    if (ckpt.has_value()) {
+      // Commit the finished job before starting the next one; after an
+      // OK commit a crash cannot lose it. Commit failure is a hard
+      // error — silently continuing would promise durability the log
+      // does not have.
+      const bool tracing = trace->enabled();
+      const double write_start = tracing ? trace->NowSeconds() : 0;
+      Result<int64_t> bytes = ckpt->CommitJob(i, name, out.results.values(i));
+      if (tracing) {
+        trace->RecordSpan(
+            "ckpt", "ckpt-write " + name, write_start, trace->NowSeconds(),
+            /*task=*/-1, /*attempt=*/0,
+            bytes.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+            bytes.ok() ? "bytes=" + std::to_string(bytes.value())
+                       : bytes.status().ToString(),
+            /*job=*/i);
+      }
+      if (!bytes.ok()) {
+        return AnnotateJobError(bytes.status(), "checkpoint commit for", name,
+                                i);
+      }
+      out.total_metrics.checkpoint_bytes_written += bytes.value();
+    }
   }
   return out;
 }

@@ -31,13 +31,26 @@ namespace casm {
 
 struct MultiJobResult {
   MeasureResultSet results;
-  /// Metrics accumulated over every job (shuffle volume, per-reducer
-  /// workloads summed per job).
+  /// Metrics accumulated over every *executed* job (shuffle volume,
+  /// per-reducer workloads summed per job). Jobs restored from a
+  /// checkpoint run no tasks and are deliberately kept out of the
+  /// attempt histograms and phase timings — they are reported only via
+  /// the checkpoint_* counters, keeping RunReport quantiles honest.
   MapReduceMetrics total_metrics;
+  /// Jobs actually executed by this call.
   int jobs = 0;
+  /// Jobs skipped because their results were restored from the
+  /// checkpoint log (options.checkpoint). jobs + jobs_restored equals
+  /// the workflow's measure count on success.
+  int jobs_restored = 0;
 };
 
-/// Evaluates `wf` over `table` with one MapReduce job per measure.
+/// Evaluates `wf` over `table` with one MapReduce job per measure. With
+/// `options.checkpoint` enabled, each completed job's results are
+/// durably committed to the checkpoint volume and committed jobs are
+/// restored — verified against the (workflow, table) fingerprint and
+/// the volume's block checksums — instead of recomputed, so a fault or
+/// deadline mid-sequence loses only the in-flight job.
 Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
                                         const Table& table,
                                         const ParallelEvalOptions& options);

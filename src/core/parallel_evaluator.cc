@@ -6,6 +6,7 @@
 #include <bit>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -86,6 +87,7 @@ void ApplyEngineOptions(const ParallelEvalOptions& options,
   spec->speculation_min_runtime_seconds =
       options.speculation_min_runtime_seconds;
   spec->slow_task_injector = options.slow_task_injector;
+  spec->record_throttle_injector = options.record_throttle_injector;
   spec->trace = options.trace;
 }
 
@@ -105,6 +107,44 @@ Result<ParallelEvalResult> EvaluateParallel(
             "measures; '" +
             wf.measure(i).name + "' is holistic");
       }
+    }
+  }
+
+  // Checkpointed single-pass evaluation: the full result set is one log
+  // entry keyed by the (workflow, table) fingerprint. The entry label is
+  // plan-independent because every feasible plan computes identical
+  // results, so a committed run short-circuits re-runs under any plan.
+  std::optional<CheckpointLog> ckpt;
+  TraceRecorder* const ckpt_trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  if (options.checkpoint.enabled() &&
+      options.phase == ParallelEvalPhase::kFull) {
+    CASM_ASSIGN_OR_RETURN(
+        CheckpointLog log,
+        CheckpointLog::Open(options.checkpoint, FingerprintQuery(wf, table)));
+    ckpt.emplace(std::move(log));
+    const bool tracing = ckpt_trace->enabled();
+    const double restore_start = tracing ? ckpt_trace->NowSeconds() : 0;
+    int64_t bytes_restored = 0;
+    Result<MeasureResultSet> restored =
+        ckpt->TryRestoreResultSet("result", &bytes_restored);
+    if (tracing) {
+      ckpt_trace->RecordSpan(
+          "ckpt", "ckpt-restore result", restore_start,
+          ckpt_trace->NowSeconds(), /*task=*/-1, /*attempt=*/0,
+          restored.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+          restored.ok() ? "bytes=" + std::to_string(bytes_restored)
+                        : restored.status().ToString());
+    }
+    if (restored.ok() &&
+        restored.value().num_measures() == wf.num_measures()) {
+      // A failed restore (never committed, torn, stale) falls through
+      // to a normal evaluation — corruption degrades to recompute.
+      ParallelEvalResult out;
+      out.results = std::move(restored).value();
+      out.metrics.checkpoint_jobs_restored = 1;
+      out.metrics.checkpoint_bytes_restored = bytes_restored;
+      return out;
     }
   }
 
@@ -322,6 +362,25 @@ Result<ParallelEvalResult> EvaluateParallel(
   out.local_stats = sink.local_stats;
   out.blocks_evaluated = sink.blocks;
   out.results_filtered = sink.filtered;
+  if (ckpt.has_value()) {
+    const bool ckpt_tracing = ckpt_trace->enabled();
+    const double write_start = ckpt_tracing ? ckpt_trace->NowSeconds() : 0;
+    Result<int64_t> bytes = ckpt->CommitResultSet("result", out.results);
+    if (ckpt_tracing) {
+      ckpt_trace->RecordSpan(
+          "ckpt", "ckpt-write result", write_start, ckpt_trace->NowSeconds(),
+          /*task=*/-1, /*attempt=*/0,
+          bytes.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+          bytes.ok() ? "bytes=" + std::to_string(bytes.value())
+                     : bytes.status().ToString());
+    }
+    if (!bytes.ok()) {
+      return Status(bytes.status().code(),
+                    "parallel evaluation: checkpoint commit failed: " +
+                        bytes.status().message());
+    }
+    out.metrics.checkpoint_bytes_written = bytes.value();
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "core/plan.h"
 #include "data/table.h"
@@ -88,6 +89,19 @@ struct ParallelEvalOptions {
   /// it at a locally-enabled recorder to trace one evaluation (the
   /// straggler bench fits its slowdown parameter that way). Not owned.
   TraceRecorder* trace = nullptr;
+
+  /// Per-record latency injection: seconds of delay charged per record
+  /// processed by the given attempt, modeling slow-but-not-stuck nodes
+  /// (heterogeneous hardware) rather than the one-shot stalls of
+  /// `slow_task_injector`. See mr/engine.h.
+  MapReduceRecordThrottleInjector record_throttle_injector;
+
+  /// Durable per-job checkpointing (src/ckpt): with a directory set and
+  /// mode kResume, EvaluateMultiJob commits each completed job's results
+  /// to the DFS volume and a re-run restores committed jobs instead of
+  /// recomputing them; EvaluateParallel checkpoints the full result set
+  /// (phase kFull only). Verification failures degrade to recompute.
+  CheckpointOptions checkpoint;
 };
 
 /// Copies the robustness knobs of `options` (retry budget, injectors,

@@ -1,0 +1,502 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "dfs/volume.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "dfs/dfs.h"
+
+namespace casm {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ValidFileName(const std::string& name) {
+  if (name.empty() || name.size() > 200 || name[0] == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string CrcHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+std::string ManifestPath(const std::string& root, const std::string& name) {
+  return root + "/" + name + ".manifest";
+}
+
+std::string BlockPath(const std::string& root, int node,
+                      const std::string& name, int block) {
+  return root + "/node" + std::to_string(node) + "/" + name + ".blk" +
+         std::to_string(block);
+}
+
+/// fflush + fsync so the bytes survive a crash, not just a process exit.
+Status SyncAndClose(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot flush " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot fsync " + path);
+  }
+  if (std::fclose(file) != 0) {
+    return Status::Internal("cannot close " + path);
+  }
+  return Status::OK();
+}
+
+/// fsync on a directory makes a just-renamed entry durable.
+Status SyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal("cannot open directory " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("cannot fsync directory " + path);
+  return Status::OK();
+}
+
+Status WriteAndSync(const std::string& path, std::string_view bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::Internal("cannot create " + path);
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    std::fclose(file);
+    std::remove(path.c_str());
+    return Status::Internal("short write to " + path);
+  }
+  return SyncAndClose(file, path);
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound("cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = std::fread(buf, 1, sizeof(buf), file);
+    out.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool bad = std::ferror(file) != 0;
+  std::fclose(file);
+  if (bad) return Status::Internal("read error on " + path);
+  return out;
+}
+
+/// Parsed committed-file metadata.
+struct Manifest {
+  int64_t total_bytes = 0;
+  int64_t block_size = 0;
+  struct Block {
+    int64_t size = 0;
+    uint32_t crc = 0;
+    std::vector<int> replicas;
+  };
+  std::vector<Block> blocks;
+};
+
+/// Strict parse of the manifest text. The trailing `end <crc>` line
+/// checksums everything before it, so a torn (truncated or bit-flipped)
+/// manifest is rejected here and the file is treated as not committed.
+Result<Manifest> ParseManifest(const std::string& text,
+                               const std::string& name) {
+  const auto corrupt = [&](const std::string& why) {
+    return Status::Internal("manifest for '" + name + "' corrupt: " + why);
+  };
+  const size_t end_pos = text.rfind("\nend ");
+  if (end_pos == std::string::npos) return corrupt("missing end line");
+  const std::string body = text.substr(0, end_pos + 1);  // includes '\n'
+  std::istringstream tail(text.substr(end_pos + 1));
+  std::string word, end_crc_hex;
+  if (!(tail >> word >> end_crc_hex) || word != "end") {
+    return corrupt("malformed end line");
+  }
+  if (CrcHex(Crc32(body)) != end_crc_hex) return corrupt("checksum mismatch");
+
+  std::istringstream in(body);
+  std::string line;
+  if (!std::getline(in, line) || line != "casm-dfs-manifest v1") {
+    return corrupt("bad header");
+  }
+  Manifest m;
+  std::string manifest_name;
+  int64_t num_blocks = -1;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      fields >> manifest_name;
+    } else if (key == "bytes") {
+      fields >> m.total_bytes;
+    } else if (key == "block_size") {
+      fields >> m.block_size;
+    } else if (key == "blocks") {
+      fields >> num_blocks;
+    } else if (key == "block") {
+      int64_t index = -1;
+      Manifest::Block b;
+      std::string crc_hex;
+      fields >> index >> b.size >> crc_hex;
+      if (fields.fail() || index != static_cast<int64_t>(m.blocks.size()) ||
+          b.size < 0 || crc_hex.size() != 8) {
+        return corrupt("malformed block line");
+      }
+      b.crc = static_cast<uint32_t>(std::stoul(crc_hex, nullptr, 16));
+      int node = -1;
+      while (fields >> node) b.replicas.push_back(node);
+      if (b.replicas.empty()) return corrupt("block without replicas");
+      m.blocks.push_back(std::move(b));
+    } else if (!key.empty()) {
+      return corrupt("unknown field '" + key + "'");
+    }
+    if (fields.bad()) return corrupt("unreadable line");
+  }
+  if (manifest_name != name) return corrupt("name mismatch");
+  if (num_blocks != static_cast<int64_t>(m.blocks.size())) {
+    return corrupt("block count mismatch");
+  }
+  int64_t sum = 0;
+  for (const Manifest::Block& b : m.blocks) sum += b.size;
+  if (sum != m.total_bytes) return corrupt("size mismatch");
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FileWriter
+
+DfsVolume::FileWriter::FileWriter(std::string root, DfsVolumeOptions options,
+                                  std::string name)
+    : root_(std::move(root)),
+      options_(options),
+      name_(std::move(name)),
+      staging_path_(root_ + "/." + name_ + ".staging") {}
+
+DfsVolume::FileWriter::FileWriter(FileWriter&& other) noexcept
+    : root_(std::move(other.root_)),
+      options_(other.options_),
+      name_(std::move(other.name_)),
+      staging_path_(std::move(other.staging_path_)),
+      staging_(other.staging_),
+      pending_(std::move(other.pending_)),
+      block_sizes_(std::move(other.block_sizes_)),
+      block_crcs_(std::move(other.block_crcs_)),
+      total_bytes_(other.total_bytes_),
+      committed_(other.committed_) {
+  other.staging_ = nullptr;
+  other.committed_ = true;  // moved-from shell owns nothing to discard
+}
+
+DfsVolume::FileWriter& DfsVolume::FileWriter::operator=(
+    FileWriter&& other) noexcept {
+  if (this != &other) {
+    Discard();
+    root_ = std::move(other.root_);
+    options_ = other.options_;
+    name_ = std::move(other.name_);
+    staging_path_ = std::move(other.staging_path_);
+    staging_ = other.staging_;
+    pending_ = std::move(other.pending_);
+    block_sizes_ = std::move(other.block_sizes_);
+    block_crcs_ = std::move(other.block_crcs_);
+    total_bytes_ = other.total_bytes_;
+    committed_ = other.committed_;
+    other.staging_ = nullptr;
+    other.committed_ = true;
+  }
+  return *this;
+}
+
+DfsVolume::FileWriter::~FileWriter() { Discard(); }
+
+void DfsVolume::FileWriter::Discard() {
+  if (staging_ != nullptr) {
+    std::fclose(staging_);
+    staging_ = nullptr;
+  }
+  if (!committed_ && !staging_path_.empty()) {
+    std::remove(staging_path_.c_str());
+  }
+}
+
+Status DfsVolume::FileWriter::EnsureStaging() {
+  if (staging_ != nullptr) return Status::OK();
+  staging_ = std::fopen(staging_path_.c_str(), "wb");
+  if (staging_ == nullptr) {
+    return Status::Internal("cannot create staging file " + staging_path_);
+  }
+  return Status::OK();
+}
+
+Status DfsVolume::FileWriter::SealBlock(std::string_view bytes) {
+  CASM_RETURN_IF_ERROR(EnsureStaging());
+  if (std::fwrite(bytes.data(), 1, bytes.size(), staging_) != bytes.size()) {
+    return Status::Internal("short write to staging file " + staging_path_);
+  }
+  block_sizes_.push_back(static_cast<int64_t>(bytes.size()));
+  block_crcs_.push_back(Crc32(bytes));
+  return Status::OK();
+}
+
+Status DfsVolume::FileWriter::Append(std::string_view bytes) {
+  if (committed_) {
+    return Status::FailedPrecondition("Append after Commit on '" + name_ +
+                                      "'");
+  }
+  total_bytes_ += static_cast<int64_t>(bytes.size());
+  pending_.append(bytes.data(), bytes.size());
+  const size_t block = static_cast<size_t>(options_.block_size_bytes);
+  while (pending_.size() >= block) {
+    CASM_RETURN_IF_ERROR(SealBlock(std::string_view(pending_).substr(0, block)));
+    pending_.erase(0, block);
+  }
+  return Status::OK();
+}
+
+Status DfsVolume::FileWriter::Commit() {
+  if (committed_) {
+    return Status::FailedPrecondition("double Commit on '" + name_ + "'");
+  }
+  if (!pending_.empty()) {
+    CASM_RETURN_IF_ERROR(SealBlock(pending_));
+    pending_.clear();
+  }
+  const int num_blocks = static_cast<int>(block_sizes_.size());
+  if (staging_ != nullptr) {
+    std::FILE* f = staging_;
+    staging_ = nullptr;
+    CASM_RETURN_IF_ERROR(SyncAndClose(f, staging_path_));
+  }
+
+  // Replica placement reuses the table-placement logic: one "row" per
+  // block, replicas on distinct nodes, deterministic in (seed, name).
+  DfsOptions placement_options;
+  placement_options.num_nodes = options_.num_nodes;
+  placement_options.replication = options_.replication;
+  placement_options.block_size_rows = 1;
+  placement_options.seed = options_.seed ^ Fnv1a64(name_);
+  std::vector<std::vector<int>> replicas(static_cast<size_t>(num_blocks));
+  if (num_blocks > 0) {
+    CASM_ASSIGN_OR_RETURN(
+        DistributedFile placement,
+        DistributedFile::Store(num_blocks, placement_options));
+    CASM_CHECK_EQ(placement.num_blocks(), num_blocks);
+    for (int i = 0; i < num_blocks; ++i) {
+      replicas[static_cast<size_t>(i)] = placement.block(i).replicas;
+    }
+  }
+
+  // Copy each staged block to its replica paths, fsyncing every copy.
+  std::FILE* staged = nullptr;
+  if (num_blocks > 0) {
+    staged = std::fopen(staging_path_.c_str(), "rb");
+    if (staged == nullptr) {
+      return Status::Internal("cannot reopen staging file " + staging_path_);
+    }
+  }
+  std::string block_bytes;
+  Status status;
+  for (int i = 0; i < num_blocks && status.ok(); ++i) {
+    block_bytes.resize(static_cast<size_t>(block_sizes_[static_cast<size_t>(i)]));
+    if (!block_bytes.empty() &&
+        std::fread(block_bytes.data(), 1, block_bytes.size(), staged) !=
+            block_bytes.size()) {
+      status = Status::Internal("short read from staging file " +
+                                staging_path_);
+      break;
+    }
+    for (int node : replicas[static_cast<size_t>(i)]) {
+      std::error_code ec;
+      fs::create_directories(root_ + "/node" + std::to_string(node), ec);
+      status = WriteAndSync(BlockPath(root_, node, name_, i), block_bytes);
+      if (!status.ok()) break;
+    }
+  }
+  if (staged != nullptr) std::fclose(staged);
+  CASM_RETURN_IF_ERROR(status);
+
+  // Build and atomically publish the manifest: temp + fsync + rename +
+  // directory fsync. The rename is the commit point.
+  std::ostringstream manifest;
+  manifest << "casm-dfs-manifest v1\n";
+  manifest << "name " << name_ << "\n";
+  manifest << "bytes " << total_bytes_ << "\n";
+  manifest << "block_size " << options_.block_size_bytes << "\n";
+  manifest << "blocks " << num_blocks << "\n";
+  for (int i = 0; i < num_blocks; ++i) {
+    manifest << "block " << i << " " << block_sizes_[static_cast<size_t>(i)]
+             << " " << CrcHex(block_crcs_[static_cast<size_t>(i)]);
+    for (int node : replicas[static_cast<size_t>(i)]) manifest << " " << node;
+    manifest << "\n";
+  }
+  const std::string body = manifest.str();
+  const std::string text = body + "end " + CrcHex(Crc32(body)) + "\n";
+  const std::string final_path = ManifestPath(root_, name_);
+  const std::string tmp_path = final_path + ".tmp";
+  CASM_RETURN_IF_ERROR(WriteAndSync(tmp_path, text));
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename manifest for '" + name_ + "'");
+  }
+  CASM_RETURN_IF_ERROR(SyncDirectory(root_));
+
+  committed_ = true;
+  std::remove(staging_path_.c_str());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DfsVolume
+
+Result<DfsVolume> DfsVolume::Open(const std::string& root_dir,
+                                  const DfsVolumeOptions& options) {
+  if (root_dir.empty()) {
+    return Status::InvalidArgument("DfsVolume root directory is empty");
+  }
+  if (options.num_nodes < 1 || options.replication < 1 ||
+      options.block_size_bytes < 1) {
+    return Status::InvalidArgument("invalid DfsVolumeOptions");
+  }
+  std::error_code ec;
+  fs::create_directories(root_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create volume root " + root_dir + ": " +
+                            ec.message());
+  }
+  DfsVolumeOptions clamped = options;
+  clamped.replication = std::min(clamped.replication, clamped.num_nodes);
+  return DfsVolume(root_dir, clamped);
+}
+
+Result<DfsVolume::FileWriter> DfsVolume::CreateFile(
+    const std::string& name) const {
+  if (!ValidFileName(name)) {
+    return Status::InvalidArgument("invalid DFS file name '" + name + "'");
+  }
+  return FileWriter(root_, options_, name);
+}
+
+Status DfsVolume::WriteFile(const std::string& name,
+                            std::string_view bytes) const {
+  CASM_ASSIGN_OR_RETURN(FileWriter writer, CreateFile(name));
+  CASM_RETURN_IF_ERROR(writer.Append(bytes));
+  return writer.Commit();
+}
+
+bool DfsVolume::Exists(const std::string& name) const {
+  if (!ValidFileName(name)) return false;
+  std::error_code ec;
+  return fs::exists(ManifestPath(root_, name), ec);
+}
+
+Result<std::string> DfsVolume::ReadFile(const std::string& name,
+                                        ReadStats* stats) const {
+  if (!ValidFileName(name)) {
+    return Status::InvalidArgument("invalid DFS file name '" + name + "'");
+  }
+  std::error_code ec;
+  const std::string manifest_path = ManifestPath(root_, name);
+  if (!fs::exists(manifest_path, ec)) {
+    return Status::NotFound("no committed file '" + name + "' in " + root_);
+  }
+  CASM_ASSIGN_OR_RETURN(std::string manifest_text,
+                        ReadWholeFile(manifest_path));
+  CASM_ASSIGN_OR_RETURN(Manifest manifest, ParseManifest(manifest_text, name));
+
+  std::string out;
+  out.reserve(static_cast<size_t>(manifest.total_bytes));
+  for (size_t i = 0; i < manifest.blocks.size(); ++i) {
+    const Manifest::Block& block = manifest.blocks[i];
+    bool found = false;
+    for (int node : block.replicas) {
+      Result<std::string> bytes =
+          ReadWholeFile(BlockPath(root_, node, name, static_cast<int>(i)));
+      if (bytes.ok() &&
+          static_cast<int64_t>(bytes->size()) == block.size &&
+          Crc32(*bytes) == block.crc) {
+        out.append(*bytes);
+        found = true;
+        break;
+      }
+      if (stats != nullptr) ++stats->replica_fallbacks;
+    }
+    if (!found) {
+      return Status::Internal("block " + std::to_string(i) + " of '" + name +
+                              "' failed checksum on all replicas");
+    }
+    if (stats != nullptr) ++stats->blocks_read;
+  }
+  if (static_cast<int64_t>(out.size()) != manifest.total_bytes) {
+    return Status::Internal("reassembled size mismatch for '" + name + "'");
+  }
+  return out;
+}
+
+Status DfsVolume::DeleteFile(const std::string& name) const {
+  if (!ValidFileName(name)) {
+    return Status::InvalidArgument("invalid DFS file name '" + name + "'");
+  }
+  // Remove the manifest first: once it is gone the file "does not
+  // exist" and leftover blocks are garbage, not a torn file.
+  std::remove(ManifestPath(root_, name).c_str());
+  std::error_code ec;
+  for (int node = 0; node < options_.num_nodes; ++node) {
+    const std::string dir = root_ + "/node" + std::to_string(node);
+    if (!fs::exists(dir, ec)) continue;
+    const std::string prefix = name + ".blk";
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string file = entry.path().filename().string();
+      if (file.rfind(prefix, 0) == 0) {
+        std::remove(entry.path().string().c_str());
+      }
+    }
+  }
+  std::remove((root_ + "/." + name + ".staging").c_str());
+  return Status::OK();
+}
+
+std::vector<std::string> DfsVolume::ListFiles() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    const std::string file = entry.path().filename().string();
+    const std::string suffix = ".manifest";
+    if (file.size() > suffix.size() &&
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      names.push_back(file.substr(0, file.size() - suffix.size()));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace casm

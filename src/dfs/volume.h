@@ -1,0 +1,137 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// A writable DFS volume backed by a real on-disk directory. dfs/dfs.h
+// simulates *placement* of an immutable table; this file adds durable
+// named files on top of the same placement logic: a file is split into
+// fixed-size byte blocks, every block is CRC32-stamped and written to
+// `replication` distinct simulated nodes (subdirectories `node<k>/`),
+// and the file becomes visible only when its manifest is atomically
+// committed (write temp + fsync + rename). Readers verify each block's
+// checksum and fall back to the next replica on mismatch, so torn or
+// corrupted blocks degrade to an error — never to silently wrong bytes.
+// The checkpoint subsystem (src/ckpt) stores per-job results here.
+
+#ifndef CASM_DFS_VOLUME_H_
+#define CASM_DFS_VOLUME_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace casm {
+
+struct DfsVolumeOptions {
+  /// Simulated cluster nodes (subdirectories of the volume root).
+  int num_nodes = 4;
+  /// Replicas per block (clamped to num_nodes).
+  int replication = 2;
+  /// Bytes per block; files are split into blocks of this size.
+  int64_t block_size_bytes = 64 * 1024;
+  /// Placement seed; the per-file seed also mixes in the file name so
+  /// different files spread over different nodes deterministically.
+  uint64_t seed = 0xd15c;
+};
+
+/// A directory-backed block store. Open() creates the root directory;
+/// files are created with CreateFile()/Append()/Commit() (or the
+/// WriteFile() convenience), read back with ReadFile(), and are durable
+/// and atomic: a file either committed fully or does not exist.
+class DfsVolume {
+ public:
+  /// Per-read diagnostics (how hard the volume had to work).
+  struct ReadStats {
+    int64_t blocks_read = 0;
+    /// Replicas skipped because of a missing file, short block, or CRC
+    /// mismatch before a good copy was found.
+    int64_t replica_fallbacks = 0;
+  };
+
+  /// Streaming writer for one file. Append() buffers and seals full
+  /// blocks into a staging file; Commit() places replicas and publishes
+  /// the manifest atomically. Destroying an uncommitted writer discards
+  /// the staged data. Move-only.
+  class FileWriter {
+   public:
+    FileWriter(FileWriter&& other) noexcept;
+    FileWriter& operator=(FileWriter&& other) noexcept;
+    FileWriter(const FileWriter&) = delete;
+    FileWriter& operator=(const FileWriter&) = delete;
+    ~FileWriter();
+
+    Status Append(std::string_view bytes);
+
+    /// Seals the final block, writes every block to its replicas
+    /// (placement via DistributedFile::Store), fsyncs them, then
+    /// atomically publishes the manifest. After an OK Commit the file
+    /// is durable; on error nothing is visible. Commit replaces any
+    /// previously committed file of the same name.
+    Status Commit();
+
+    int64_t bytes_written() const { return total_bytes_; }
+
+   private:
+    friend class DfsVolume;
+    FileWriter(std::string root, DfsVolumeOptions options, std::string name);
+
+    Status EnsureStaging();
+    Status SealBlock(std::string_view bytes);
+    void Discard();
+
+    std::string root_;
+    DfsVolumeOptions options_;
+    std::string name_;
+    std::string staging_path_;
+    std::FILE* staging_ = nullptr;
+    std::string pending_;
+    std::vector<int64_t> block_sizes_;
+    std::vector<uint32_t> block_crcs_;
+    int64_t total_bytes_ = 0;
+    bool committed_ = false;
+  };
+
+  /// Opens (creating if needed) a volume rooted at `root_dir`.
+  static Result<DfsVolume> Open(const std::string& root_dir,
+                                const DfsVolumeOptions& options = {});
+
+  /// Starts a new file. `name` may contain only [A-Za-z0-9._-] and must
+  /// not start with a dot. The file is invisible until Commit().
+  Result<FileWriter> CreateFile(const std::string& name) const;
+
+  /// CreateFile + Append + Commit in one call.
+  Status WriteFile(const std::string& name, std::string_view bytes) const;
+
+  /// True iff a committed manifest for `name` exists.
+  bool Exists(const std::string& name) const;
+
+  /// Reads a committed file back, verifying the manifest checksum and
+  /// every block's CRC32, falling back across replicas on corruption.
+  /// NotFound if never committed; Internal if the manifest is torn or a
+  /// block is unreadable on all replicas.
+  Result<std::string> ReadFile(const std::string& name,
+                               ReadStats* stats = nullptr) const;
+
+  /// Removes the manifest first (the commit point), then the block
+  /// replicas. OK if the file does not exist.
+  Status DeleteFile(const std::string& name) const;
+
+  /// Names of all committed files, sorted.
+  std::vector<std::string> ListFiles() const;
+
+  const std::string& root() const { return root_; }
+  const DfsVolumeOptions& options() const { return options_; }
+
+ private:
+  DfsVolume(std::string root, DfsVolumeOptions options)
+      : root_(std::move(root)), options_(options) {}
+
+  std::string root_;
+  DfsVolumeOptions options_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_DFS_VOLUME_H_

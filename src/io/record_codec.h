@@ -1,0 +1,44 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Binary codec for measure tables: serializes a MeasureValueMap (coords →
+// value) or a whole MeasureResultSet to a byte string and back. The
+// encoding is *canonical* — entries are sorted by coordinates before
+// writing — so encoding the same logical result always yields the same
+// bytes regardless of hash-map iteration order. The checkpoint subsystem
+// relies on this for bit-identical restore verification; the DFS volume
+// checksums the bytes.
+//
+// Layout (all integers little-endian):
+//   MeasureValueMap:  "CMV1" u32 coord_width  u64 count
+//                     count × (coord_width × i64 coords, f64 value bits)
+//   MeasureResultSet: "CRS1" u32 num_measures
+//                     num_measures × (u64 payload_size, payload bytes)
+
+#ifndef CASM_IO_RECORD_CODEC_H_
+#define CASM_IO_RECORD_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "local/measure_table.h"
+
+namespace casm {
+
+/// Canonical (coords-sorted) encoding of one measure's value map.
+std::string EncodeMeasureValues(const MeasureValueMap& values);
+
+/// Inverse of EncodeMeasureValues. InvalidArgument on truncated bytes,
+/// a bad magic, inconsistent coordinate widths, or duplicate coords.
+Result<MeasureValueMap> DecodeMeasureValues(std::string_view bytes);
+
+/// Canonical encoding of a full result set (one length-prefixed
+/// EncodeMeasureValues payload per measure).
+std::string EncodeMeasureResultSet(const MeasureResultSet& results);
+
+/// Inverse of EncodeMeasureResultSet.
+Result<MeasureResultSet> DecodeMeasureResultSet(std::string_view bytes);
+
+}  // namespace casm
+
+#endif  // CASM_IO_RECORD_CODEC_H_

@@ -197,8 +197,10 @@ struct PhaseStats {
 class PhaseRunner {
  public:
   /// Runs one attempt of `(task, exec)`; called through the retry loop.
+  /// `attempt` is the injector attempt number (offset by the execution,
+  /// see RunTaskWithRetry) so bodies can consult per-attempt injectors.
   using AttemptBody = std::function<Status(
-      int task, int exec, const CancellationToken* token,
+      int task, int exec, int attempt, const CancellationToken* token,
       bool* output_started)>;
 
   PhaseRunner(const MapReduceSpec& spec, MapReduceTaskPhase phase,
@@ -368,8 +370,8 @@ class PhaseRunner {
     Status s = RunTaskWithRetry(
         spec_, phase_, t, /*attempt_offset=*/e * spec_.max_task_attempts,
         token, counters_, trace_, &success_span,
-        [&](int /*attempt*/, bool* output_started) {
-          return (*body_)(t, e, token, output_started);
+        [&](int attempt, bool* output_started) {
+          return (*body_)(t, e, attempt, token, output_started);
         });
     const double seconds = SecondsSince(start);
     if (admission > 0) budget_->Release(admission);
@@ -565,6 +567,19 @@ void Emitter::ConfigureMemory(MemoryBudget* budget,
 }
 
 void Emitter::Emit(const int64_t* key, const int64_t* value) {
+  if (throttle_seconds_per_record_ > 0) {
+    // Per-record latency injection: accumulate the owed delay and sleep
+    // (cancellably) in ~millisecond batches so short sleeps don't round
+    // up to scheduler quanta record by record.
+    throttle_owed_seconds_ += throttle_seconds_per_record_;
+    if (throttle_owed_seconds_ >= 1e-3) {
+      const double owed = throttle_owed_seconds_;
+      throttle_owed_seconds_ = 0;
+      InterruptibleSleep(owed, cancel_);
+      // A cancelled sleep needs no special handling here: map_fn observes
+      // the token on its next poll and the attempt unwinds normally.
+    }
+  }
   size_t reducer =
       static_cast<size_t>(PartitionHash(key, key_width_) % buffers_.size());
   std::vector<int64_t>& buf = buffers_[reducer];
@@ -606,13 +621,18 @@ void Emitter::SpillBuffers() {
   std::string path;  // created lazily: only if some buffer is non-empty
   for (size_t r = 0; r < buffers_.size(); ++r) {
     if (buffers_[r].empty()) continue;
-    // Sorting each run by key is the map-side half of the framework sort:
-    // runs arrive at the reducer pre-grouped, like Hadoop's spill files.
-    std::vector<int64_t> run = SortRecords(
-        std::move(buffers_[r]), pair_width,
-        [key_width](const int64_t* a, const int64_t* b) {
-          return CompareKeys(a, b, key_width) < 0;
-        });
+    // Sorting each run is the map-side half of the framework sort: runs
+    // arrive at the reducer pre-grouped, like Hadoop's spill files. With
+    // a spill order installed (the engine passes the job's full key+value
+    // order) the reducer can k-way merge the runs directly instead of
+    // re-sorting their concatenation.
+    std::vector<int64_t> run =
+        run_less_ != nullptr
+            ? SortRecords(std::move(buffers_[r]), pair_width, run_less_)
+            : SortRecords(std::move(buffers_[r]), pair_width,
+                          [key_width](const int64_t* a, const int64_t* b) {
+                            return CompareKeys(a, b, key_width) < 0;
+                          });
     if (path.empty()) {
       path = spill_dir_ + "/casm_emit_" +
              std::to_string(spill_counter.fetch_add(1)) + ".spill";
@@ -685,6 +705,25 @@ Status Emitter::GatherReducer(int reducer, std::vector<int64_t>* out) const {
   return Status::OK();
 }
 
+bool Emitter::HasSpilledRuns(int reducer) const {
+  return !spilled_[static_cast<size_t>(reducer)].empty();
+}
+
+Status Emitter::GatherReducerRuns(int reducer,
+                                  std::vector<std::vector<int64_t>>* runs,
+                                  std::vector<int64_t>* unsorted_tail) const {
+  const size_t r = static_cast<size_t>(reducer);
+  for (const SpillSegment& seg : spilled_[r]) {
+    Result<std::vector<int64_t>> run =
+        ReadRun(spill_files_[seg.file], seg.offset_int64s, seg.count_int64s);
+    CASM_RETURN_IF_ERROR(run.status());
+    runs->push_back(std::move(run).value());
+  }
+  unsorted_tail->insert(unsorted_tail->end(), buffers_[r].begin(),
+                        buffers_[r].end());
+  return Status::OK();
+}
+
 std::vector<int64_t> GroupView::CopyValues() const {
   std::vector<int64_t> out;
   const int value_width = pair_width_ - key_width_;
@@ -741,6 +780,21 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   const int num_mappers = spec.num_mappers;
   const int num_reducers = spec.num_reducers;
   const int pair_width = spec.key_width + spec.value_width;
+  const int key_width = spec.key_width;
+
+  // The job's full pair order — key order, then the optional secondary
+  // value order — shared by the emitters' spill runs and the reduce-side
+  // sort/merge. Spilling with the *final* order is what lets the shuffle
+  // merge pre-sorted runs instead of re-sorting the concatenation.
+  const std::function<bool(const int64_t*, const int64_t*)> pair_less =
+      [&spec, key_width](const int64_t* px, const int64_t* py) {
+        int c = CompareKeys(px, py, key_width);
+        if (c != 0) return c < 0;
+        if (spec.value_less) {
+          return spec.value_less(px + key_width, py + key_width);
+        }
+        return false;
+      };
 
   MapReduceMetrics metrics;
   metrics.input_rows = num_input_rows;
@@ -816,7 +870,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   const int64_t rows_per_mapper =
       (num_input_rows + num_mappers - 1) / num_mappers;
   PhaseRunner::AttemptBody map_body =
-      [&](int m, int exec, const CancellationToken* token,
+      [&](int m, int exec, int attempt, const CancellationToken* token,
           bool* /*output_started*/) -> Status {
     auto& slot = emitters[static_cast<size_t>(m)][static_cast<size_t>(exec)];
     if (slot == nullptr) {
@@ -824,12 +878,18 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
                                        spec.value_width);
       slot->ConfigureMemory(&budget, map_reservation, spill_threshold,
                             spec.spill_dir, tracing ? trace : nullptr);
+      slot->set_spill_order(pair_less);
     }
     Emitter* emitter = slot.get();
     // Clear-and-replay: drop any pairs (and spilled runs) a failed
     // attempt produced.
     emitter->Clear();
     emitter->cancel_ = token;
+    emitter->set_record_throttle(
+        spec.record_throttle_injector
+            ? spec.record_throttle_injector(MapReduceTaskPhase::kMap, m,
+                                            attempt)
+            : 0);
     if (spec.split_fn) {
       for (const auto& [begin, end] : spec.split_fn(m)) {
         if (token->cancelled()) return token->status();
@@ -959,42 +1019,59 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
            static_cast<int64_t>(sizeof(int64_t));
   });
   PhaseRunner::AttemptBody reduce_body =
-      [&](int r, int exec, const CancellationToken* token,
+      [&](int r, int exec, int attempt, const CancellationToken* token,
           bool* output_started) -> Status {
     ReduceExecStats& rs =
         reduce_exec_stats[static_cast<size_t>(r)][static_cast<size_t>(exec)];
+    const double throttle_per_record =
+        spec.record_throttle_injector
+            ? spec.record_throttle_injector(MapReduceTaskPhase::kReduce, r,
+                                            attempt)
+            : 0;
     auto sort_start = std::chrono::steady_clock::now();
-    // Gather this reducer's pairs from every (winning) mapper: in-memory
-    // buffers plus any spilled runs replayed from disk.
-    std::vector<int64_t> pairs;
-    pairs.reserve(static_cast<size_t>(
-        metrics.reducer_pairs[static_cast<size_t>(r)] * pair_width));
-    for (const Emitter* e : map_out) {
-      CASM_RETURN_IF_ERROR(e->GatherReducer(r, &pairs));
-    }
-    const int64_t count = static_cast<int64_t>(pairs.size()) / pair_width;
-    if (token->cancelled()) return token->status();
-
-    // Sort by key (and by value within key if a secondary order is
-    // given), spilling to disk beyond the memory budget.
-    const int key_width = spec.key_width;
-    auto pair_less = [&](const int64_t* px, const int64_t* py) {
-      int c = CompareKeys(px, py, key_width);
-      if (c != 0) return c < 0;
-      if (spec.value_less) {
-        return spec.value_less(px + key_width, py + key_width);
-      }
-      return false;
-    };
-    ExternalSortOptions sort_options;
-    sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
-    sort_options.temp_dir = spec.spill_dir;
-    sort_options.trace = tracing ? trace : nullptr;
+    std::vector<int64_t> sorted;
     ExternalSortStats spill;
-    Result<std::vector<int64_t>> sort_result = ExternalSort(
-        std::move(pairs), pair_width, pair_less, sort_options, &spill);
-    CASM_RETURN_IF_ERROR(sort_result.status());
-    std::vector<int64_t> sorted = std::move(sort_result).value();
+    bool any_spilled = false;
+    for (const Emitter* e : map_out) any_spilled |= e->HasSpilledRuns(r);
+    if (any_spilled && spec.reducer_memory_limit_pairs == 0) {
+      // Merge path: every spilled run is already in the job's full pair
+      // order (the engine installed it as the emitters' spill order), so
+      // a k-way merge replaces the re-sort of the concatenation. Only
+      // the mappers' in-memory tails still need sorting, once, as one
+      // extra run. Skipped when the reducer has its own external-sort
+      // memory cap — ExternalSort handles that bounded-memory regime.
+      std::vector<std::vector<int64_t>> runs;
+      std::vector<int64_t> tail;
+      for (const Emitter* e : map_out) {
+        CASM_RETURN_IF_ERROR(e->GatherReducerRuns(r, &runs, &tail));
+      }
+      if (token->cancelled()) return token->status();
+      if (!tail.empty()) {
+        runs.push_back(SortRecords(std::move(tail), pair_width, pair_less));
+      }
+      sorted = MergeSortedRuns(std::move(runs), pair_width, pair_less);
+    } else {
+      // Gather this reducer's pairs from every (winning) mapper — the
+      // in-memory buffers plus any spilled runs replayed from disk —
+      // then sort by key (and by value within key if a secondary order
+      // is given), spilling to disk beyond the memory budget.
+      std::vector<int64_t> pairs;
+      pairs.reserve(static_cast<size_t>(
+          metrics.reducer_pairs[static_cast<size_t>(r)] * pair_width));
+      for (const Emitter* e : map_out) {
+        CASM_RETURN_IF_ERROR(e->GatherReducer(r, &pairs));
+      }
+      if (token->cancelled()) return token->status();
+      ExternalSortOptions sort_options;
+      sort_options.memory_limit_records = spec.reducer_memory_limit_pairs;
+      sort_options.temp_dir = spec.spill_dir;
+      sort_options.trace = tracing ? trace : nullptr;
+      Result<std::vector<int64_t>> sort_result = ExternalSort(
+          std::move(pairs), pair_width, pair_less, sort_options, &spill);
+      CASM_RETURN_IF_ERROR(sort_result.status());
+      sorted = std::move(sort_result).value();
+    }
+    const int64_t count = static_cast<int64_t>(sorted.size()) / pair_width;
     rs.spilled_runs += spill.runs_spilled;
     rs.spilled_records += spill.records_spilled;
     rs.sort_seconds += SecondsSince(sort_start);
@@ -1005,6 +1082,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     int64_t groups = 0;
     int64_t begin = 0;
     bool owns_output = false;
+    double throttle_owed = 0;
     while (begin < count) {
       if (token->cancelled()) {
         rs.reduce_seconds += SecondsSince(reduce_start);
@@ -1018,6 +1096,19 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
         ++end;
       }
       ++groups;
+      if (throttle_per_record > 0) {
+        // Per-record latency injection, charged per grouped pair and
+        // slept in ~millisecond batches (see Emitter::Emit).
+        throttle_owed += throttle_per_record * static_cast<double>(end - begin);
+        if (throttle_owed >= 1e-3) {
+          const double owed = throttle_owed;
+          throttle_owed = 0;
+          if (!InterruptibleSleep(owed, token)) {
+            rs.reduce_seconds += SecondsSince(reduce_start);
+            return token->status();
+          }
+        }
+      }
       if (!spec.skip_reduce) {
         if (!owns_output) {
           // Claim the task's output before the first delivery; exactly

@@ -107,6 +107,18 @@ using MapReduceFaultInjector =
 using MapReduceSlowTaskInjector =
     std::function<double(MapReduceTaskPhase phase, int task, int attempt)>;
 
+/// Deterministic *per-record* latency injection, modeling heterogeneous
+/// hardware: a slow-but-not-stuck node that processes every record, just
+/// slower. Invoked once per task attempt; the returned number of seconds
+/// is charged for every record the attempt processes (map: per emitted
+/// pair; reduce: per grouped pair), slept cancellably in small batches.
+/// Unlike `slow_task_injector`'s one-shot stall, the delay scales with
+/// the attempt's data volume — the shape real speculation policies must
+/// detect from relative progress rates. Attempt numbering matches
+/// MapReduceSlowTaskInjector (backups continue at max_task_attempts+1).
+using MapReduceRecordThrottleInjector =
+    std::function<double(MapReduceTaskPhase phase, int task, int attempt)>;
+
 /// Mapper-side sink for key/value pairs. Not thread-safe; each mapper task
 /// execution owns one.
 ///
@@ -176,6 +188,34 @@ class Emitter {
   /// spilled runs — onto `out` as flattened [key..., value...] records.
   Status GatherReducer(int reducer, std::vector<int64_t>* out) const;
 
+  /// True when this emitter spilled at least one run for `reducer`.
+  bool HasSpilledRuns(int reducer) const;
+
+  /// Replays reducer `reducer`'s spilled runs as *separate* vectors
+  /// appended to `runs` (each sorted at spill time — by the spill order
+  /// if one was set, else by key) and appends the unsorted in-memory
+  /// buffer onto `unsorted_tail`. The shuffle uses this to k-way merge
+  /// pre-sorted runs instead of re-sorting the concatenation.
+  Status GatherReducerRuns(int reducer, std::vector<std::vector<int64_t>>* runs,
+                           std::vector<int64_t>* unsorted_tail) const;
+
+  /// Orders pairs within spilled runs (a full [key..., value...] record
+  /// comparator). When it matches the reducer's sort order, spilled runs
+  /// can be merged at shuffle instead of re-sorted; the engine sets the
+  /// job's key+value order here. Unset keeps the key-only spill order.
+  void set_spill_order(std::function<bool(const int64_t*, const int64_t*)> less) {
+    run_less_ = std::move(less);
+  }
+
+  /// Arms per-record throttling for the current attempt: every emitted
+  /// pair charges `seconds_per_record`, slept cancellably once the owed
+  /// delay accumulates past a millisecond. 0 disarms. Engine-set from
+  /// MapReduceSpec::record_throttle_injector; public for direct tests.
+  void set_record_throttle(double seconds_per_record) {
+    throttle_seconds_per_record_ = seconds_per_record;
+    throttle_owed_seconds_ = 0;
+  }
+
   /// True when the attempt driving this emitter has been cancelled (the
   /// job deadline expired, or this attempt lost a speculation race). Long
   /// map functions should poll this every few thousand rows and return
@@ -227,6 +267,11 @@ class Emitter {
   Status memory_status_;
   std::vector<std::string> spill_files_;
   std::vector<std::vector<SpillSegment>> spilled_;  // per reducer
+  /// Full-record order for spilled runs (see set_spill_order).
+  std::function<bool(const int64_t*, const int64_t*)> run_less_;
+  // Per-record throttling (see set_record_throttle).
+  double throttle_seconds_per_record_ = 0;
+  double throttle_owed_seconds_ = 0;
 };
 
 /// A key group handed to the reduce function: `size()` values sharing one
@@ -366,6 +411,9 @@ struct MapReduceSpec {
 
   /// Optional deterministic latency injection (tests, chaos benches).
   MapReduceSlowTaskInjector slow_task_injector;
+  /// Optional per-record latency injection: heterogeneous-hardware
+  /// slowdowns that scale with data volume instead of stalling once.
+  MapReduceRecordThrottleInjector record_throttle_injector;
 
   /// Run-trace recorder (obs/trace.h): the engine records per-attempt
   /// spans (task id, attempt number, outcome), admission waits, spills,

@@ -131,6 +131,39 @@ Result<std::vector<int64_t>> ReadRun(const std::string& path,
   return out;
 }
 
+std::vector<int64_t> MergeSortedRuns(std::vector<std::vector<int64_t>> runs,
+                                     int width, const RecordLess& less) {
+  CASM_CHECK_GE(width, 1);
+  size_t total = 0;
+  for (const std::vector<int64_t>& run : runs) {
+    CASM_CHECK_EQ(static_cast<int64_t>(run.size()) % width, 0);
+    total += run.size();
+  }
+  std::vector<size_t> pos(runs.size(), 0);
+  auto head = [&](size_t r) { return runs[r].data() + pos[r]; };
+  auto heap_greater = [&](size_t a, size_t b) {
+    // std::priority_queue is a max-heap; invert.
+    return less(head(b), head(a));
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(heap_greater)>
+      heap(heap_greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push(r);
+  }
+  std::vector<int64_t> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    size_t r = heap.top();
+    heap.pop();
+    const int64_t* row = head(r);
+    merged.insert(merged.end(), row, row + width);
+    pos[r] += static_cast<size_t>(width);
+    if (pos[r] < runs[r].size()) heap.push(r);
+  }
+  CASM_CHECK_EQ(merged.size(), total);
+  return merged;
+}
+
 Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
                                           int width, const RecordLess& less,
                                           const ExternalSortOptions& options,

@@ -57,6 +57,14 @@ Result<std::vector<int64_t>> ReadRun(const std::string& path,
                                      int64_t offset_int64s,
                                      int64_t count_int64s);
 
+/// K-way merges `runs` — each a flat buffer of `width`-int64 records
+/// already sorted by `less` — into one sorted flat buffer. The in-memory
+/// counterpart of ExternalSort's spill-file merge: the shuffle uses it to
+/// merge pre-sorted map-side spill runs instead of re-sorting their
+/// concatenation (O(n log k) comparisons for k runs vs O(n log n)).
+std::vector<int64_t> MergeSortedRuns(std::vector<std::vector<int64_t>> runs,
+                                     int width, const RecordLess& less);
+
 /// Sorts `records` (flattened rows of `width` int64s) by `less`, spilling
 /// to disk when the memory budget is exceeded. Returns the sorted flat
 /// buffer. `stats` may be null.

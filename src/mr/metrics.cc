@@ -42,6 +42,15 @@ std::string MapReduceMetrics::ToString() const {
     out += " cancelled_attempts=" + std::to_string(cancelled_attempts);
   }
   if (deadline_exceeded) out += " deadline_exceeded=1";
+  if (checkpoint_jobs_restored > 0 || checkpoint_bytes_written > 0 ||
+      checkpoint_bytes_restored > 0) {
+    out += " checkpoint_jobs_restored=" +
+           std::to_string(checkpoint_jobs_restored);
+    out +=
+        " checkpoint_bytes_written=" + std::to_string(checkpoint_bytes_written);
+    out += " checkpoint_bytes_restored=" +
+           std::to_string(checkpoint_bytes_restored);
+  }
   out += " peak_tracked_bytes=" + std::to_string(peak_tracked_bytes);
   if (emitter_spilled_runs > 0) {
     out += " emitter_spilled_runs=" + std::to_string(emitter_spilled_runs);
@@ -109,6 +118,9 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   speculative_wins += other.speculative_wins;
   cancelled_attempts += other.cancelled_attempts;
   deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
+  checkpoint_jobs_restored += other.checkpoint_jobs_restored;
+  checkpoint_bytes_written += other.checkpoint_bytes_written;
+  checkpoint_bytes_restored += other.checkpoint_bytes_restored;
   // Merge the attempt-duration digests and recompute the scalar
   // quantiles from the union, so a sequence's p50 is the median over
   // every attempt in the sequence — not the max of per-job medians.

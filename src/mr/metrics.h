@@ -67,6 +67,16 @@ struct MapReduceMetrics {
   int64_t admission_waits = 0;
   double admission_wait_seconds = 0;
 
+  // Checkpoint & recovery (src/ckpt). Restored jobs run no tasks, so
+  // they contribute nothing to the attempt digests or phase timings —
+  // these counters are the only trace they leave in the metrics.
+  /// Jobs whose results were restored from the checkpoint log instead of
+  /// recomputed.
+  int64_t checkpoint_jobs_restored = 0;
+  /// Serialized payload bytes committed to / restored from the log.
+  int64_t checkpoint_bytes_written = 0;
+  int64_t checkpoint_bytes_restored = 0;
+
   /// Task attempts that failed (injected faults, non-OK statuses, or
   /// exceptions thrown by user map/reduce functions). Cancelled attempts
   /// (speculation losers, deadline aborts) are not failures and are

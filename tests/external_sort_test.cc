@@ -149,6 +149,32 @@ TEST(ExternalSortTest, ParallelQueryExactUnderTinySortBudget) {
 }
 
 
+TEST(MergeSortedRunsTest, MergeEqualsSortOfConcatenation) {
+  const int width = 2;
+  // Several pre-sorted runs of uneven sizes, plus an empty one.
+  std::vector<std::vector<int64_t>> runs;
+  std::vector<int64_t> all;
+  for (int64_t r = 0; r < 5; ++r) {
+    std::vector<int64_t> run = RandomRecords(37 + r * 53, width, 100 + r);
+    run = SortRecords(std::move(run), width, LexLess(width));
+    all.insert(all.end(), run.begin(), run.end());
+    runs.push_back(std::move(run));
+  }
+  runs.insert(runs.begin() + 2, {});
+
+  std::vector<int64_t> merged =
+      MergeSortedRuns(std::move(runs), width, LexLess(width));
+  std::vector<int64_t> expected = SortRecords(all, width, LexLess(width));
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(MergeSortedRunsTest, NoRunsAndSingleRun) {
+  EXPECT_TRUE(MergeSortedRuns({}, 3, LexLess(3)).empty());
+  std::vector<int64_t> run =
+      SortRecords(RandomRecords(20, 3, 5), 3, LexLess(3));
+  EXPECT_EQ(MergeSortedRuns({run}, 3, LexLess(3)), run);
+}
+
 TEST(ExternalSortTest, UnwritableSpillDirectoryFailsCleanly) {
   std::vector<int64_t> records = RandomRecords(100, 2, 3);
   ExternalSortOptions options;

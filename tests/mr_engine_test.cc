@@ -106,6 +106,46 @@ TEST(EngineTest, SecondarySortOrdersValuesWithinGroup) {
   EXPECT_TRUE(sorted);
 }
 
+TEST(EngineTest, SecondarySortHoldsWhenSpilledRunsAreMerged) {
+  // With map-side spilling and no reducer sort cap, the shuffle k-way
+  // merges the spilled runs instead of re-sorting the concatenation —
+  // which is only correct because runs are spilled in the job's full
+  // key+value order. A scrambled secondary order would expose a
+  // key-only spill sort.
+  MapReduceEngine engine(2);
+  MapReduceSpec spec;
+  spec.num_mappers = 4;
+  spec.num_reducers = 2;
+  spec.key_width = 1;
+  spec.value_width = 1;
+  spec.emitter_spill_threshold_bytes = 256;  // many small runs per mapper
+  spec.map_fn = [](int64_t begin, int64_t end, Emitter* emitter) {
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t key = i % 5;
+      int64_t value = 997 - i;  // scrambled
+      emitter->Emit(&key, &value);
+    }
+  };
+  spec.value_less = [](const int64_t* a, const int64_t* b) {
+    return a[0] < b[0];
+  };
+  std::mutex mu;
+  bool sorted = true;
+  int64_t total_values = 0;
+  spec.reduce_fn = [&](int reducer, const GroupView& group) {
+    std::unique_lock<std::mutex> lock(mu);
+    total_values += group.size();
+    for (int64_t i = 1; i < group.size(); ++i) {
+      if (group.value(i - 1)[0] > group.value(i)[0]) sorted = false;
+    }
+  };
+  Result<MapReduceMetrics> metrics = engine.Run(spec, 500);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics->emitter_spilled_runs, 0);  // merge path engaged
+  EXPECT_EQ(total_values, 500);
+  EXPECT_TRUE(sorted);
+}
+
 TEST(EngineTest, MapOnlySkipsReduce) {
   MapReduceEngine engine(1);
   MapReduceSpec spec;

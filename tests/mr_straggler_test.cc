@@ -127,6 +127,84 @@ TEST(StragglerTest, ReduceStragglerBackupDeliversEveryGroupExactlyOnce) {
   EXPECT_EQ(slow.deliveries, clean.deliveries);
 }
 
+/// Charges `seconds_per_record` to every record of one task's *primary*
+/// execution (the speculative backup's attempt numbers continue past
+/// max_task_attempts and stay full speed) — the heterogeneous-hardware
+/// shape: a node that is slow in proportion to its data, not stuck.
+MapReduceRecordThrottleInjector ThrottlePrimary(MapReduceTaskPhase slow_phase,
+                                                int task,
+                                                double seconds_per_record,
+                                                int max_attempts) {
+  return [=](MapReduceTaskPhase phase, int t, int attempt) {
+    return phase == slow_phase && t == task && attempt <= max_attempts
+               ? seconds_per_record
+               : 0.0;
+  };
+}
+
+TEST(StragglerTest, RecordThrottleAloneDoesNotPerturbResults) {
+  CountJob clean;
+  ASSERT_TRUE(MapReduceEngine(4).Run(clean.spec, 1300).ok());
+
+  CountJob throttled;
+  // A mild uniform slowdown on every task, both phases; no speculation.
+  throttled.spec.record_throttle_injector =
+      [](MapReduceTaskPhase, int, int) { return 0.0002; };
+  Result<MapReduceMetrics> metrics =
+      MapReduceEngine(4).Run(throttled.spec, 1300);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->task_failures, 0);
+  EXPECT_EQ(metrics->emitted_pairs, 1300);
+  EXPECT_EQ(throttled.sums, clean.sums);
+  EXPECT_EQ(throttled.deliveries, clean.deliveries);
+}
+
+TEST(StragglerTest, SpeculationFiresOnRecordThrottledMapTask) {
+  CountJob clean;
+  ASSERT_TRUE(MapReduceEngine(4).Run(clean.spec, 1300).ok());
+
+  CountJob slow;
+  slow.EnableSpeculation();
+  // ~325 records x 10ms = ~3.3s for the primary of map task 0; the
+  // other mappers finish instantly, so the relative-progress gap is
+  // exactly what the speculation policy must catch.
+  slow.spec.record_throttle_injector = ThrottlePrimary(
+      MapReduceTaskPhase::kMap, 0, 0.01, slow.spec.max_task_attempts);
+  const auto start = std::chrono::steady_clock::now();
+  Result<MapReduceMetrics> metrics = MapReduceEngine(4).Run(slow.spec, 1300);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GE(metrics->speculative_wins, 1);
+  // The cancelled primary was drained from inside its throttle sleep.
+  EXPECT_LT(elapsed, 2.5);
+  EXPECT_EQ(metrics->task_failures, 0);
+  EXPECT_EQ(slow.sums, clean.sums);
+  EXPECT_EQ(slow.deliveries, clean.deliveries);
+}
+
+TEST(StragglerTest, SpeculationFiresOnRecordThrottledReduceTask) {
+  CountJob clean;
+  ASSERT_TRUE(MapReduceEngine(4).Run(clean.spec, 1300).ok());
+
+  CountJob slow;
+  slow.EnableSpeculation();
+  // The throttle charges each group *before* any output is delivered,
+  // so the straggling reduce task is still backup-eligible when the
+  // policy fires; the ownership gate then settles the race.
+  slow.spec.record_throttle_injector = ThrottlePrimary(
+      MapReduceTaskPhase::kReduce, 1, 0.01, slow.spec.max_task_attempts);
+  Result<MapReduceMetrics> metrics = MapReduceEngine(4).Run(slow.spec, 1300);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GE(metrics->speculative_wins, 1);
+  EXPECT_EQ(slow.sums, clean.sums);
+  for (const auto& [key, count] : slow.deliveries) {
+    EXPECT_EQ(count, 1) << "key " << key << " delivered " << count
+                        << " times";
+  }
+}
+
 TEST(StragglerTest, NoBackupOnceReduceOutputStarted) {
   // A reduce task that turns slow only *after* delivering its first group
   // must not be backed up (same terminality rule as retries): a backup
