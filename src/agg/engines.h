@@ -1,0 +1,139 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Internal declarations of the concrete LocalAggregator engines and the
+// helpers they share. Not installed as public API: include
+// agg/local_aggregator.h and use MakeLocalAggregator instead.
+
+#ifndef CASM_AGG_ENGINES_H_
+#define CASM_AGG_ENGINES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "agg/local_aggregator.h"
+#include "measure/aggregate.h"
+
+namespace casm {
+namespace agg_internal {
+
+/// Flattened description of one basic measure (hot-loop friendly: no
+/// Workflow indirection per row).
+struct BasicMeasure {
+  int index;  // measure index in the workflow
+  AggregateFn fn;
+  int field;
+  const Granularity* granularity;  // borrowed from the workflow
+};
+
+std::vector<BasicMeasure> CollectBasics(const Workflow& wf);
+
+using AccMap = std::unordered_map<Coords, Accumulator, CoordsHash>;
+
+/// Derives the composite measures in dependency order from the basic
+/// results already in `results`, honoring `cancel` between measures.
+void DeriveComposites(const Workflow& wf, const CancellationToken* cancel,
+                      MeasureResultSet* results);
+
+/// Finalizes per-slot accumulator maps (parallel to `basics`) into
+/// `results` and derives the composite measures in dependency order,
+/// honoring `cancel` between measures.
+void FinalizeAndDerive(const Workflow& wf,
+                       const std::vector<BasicMeasure>& basics,
+                       std::vector<AccMap>&& acc,
+                       const CancellationToken* cancel,
+                       MeasureResultSet* results);
+
+/// Hash of the row's finest-granularity region along the sort/scan plan's
+/// sort levels — the radix engine's partition function and the adaptive
+/// chooser's cardinality-sample key. Rows in the same finest region
+/// always hash equal, so one radix partition fully contains each finest
+/// region.
+uint64_t FinestRegionHash(const Schema& schema,
+                          const std::vector<int>& attr_order,
+                          const std::vector<LevelId>& sort_levels,
+                          const int64_t* row);
+
+class SortScanAggregator final : public LocalAggregator {
+ public:
+  SortScanAggregator(const Workflow* wf, const SortScanEvaluator* sortscan)
+      : wf_(wf), sortscan_(sortscan) {}
+  LocalAggEngine engine() const override { return LocalAggEngine::kSortScan; }
+
+ protected:
+  MeasureResultSet DoEvaluate(const LocalAggContext& ctx,
+                              LocalEvalStats* stats,
+                              LocalAggEngine* chosen) const override;
+
+ private:
+  const Workflow* wf_;
+  const SortScanEvaluator* sortscan_;
+
+  /// The chooser dispatches into DoEvaluate directly (no double counting).
+  friend class AdaptiveAggregator;
+};
+
+class MorselAggregator final : public LocalAggregator {
+ public:
+  MorselAggregator(const Workflow* wf, const LocalAggOptions& options);
+  LocalAggEngine engine() const override { return LocalAggEngine::kMorsel; }
+
+ protected:
+  MeasureResultSet DoEvaluate(const LocalAggContext& ctx,
+                              LocalEvalStats* stats,
+                              LocalAggEngine* chosen) const override;
+
+ private:
+  const Workflow* wf_;
+  LocalAggOptions options_;
+  std::vector<BasicMeasure> basics_;
+
+  friend class AdaptiveAggregator;
+};
+
+class RadixAggregator final : public LocalAggregator {
+ public:
+  RadixAggregator(const Workflow* wf, const SortScanEvaluator* sortscan,
+                  const LocalAggOptions& options);
+  LocalAggEngine engine() const override { return LocalAggEngine::kRadix; }
+
+ protected:
+  MeasureResultSet DoEvaluate(const LocalAggContext& ctx,
+                              LocalEvalStats* stats,
+                              LocalAggEngine* chosen) const override;
+
+ private:
+  const Workflow* wf_;
+  const SortScanEvaluator* sortscan_;  // partition function's sort levels
+  LocalAggOptions options_;
+  std::vector<BasicMeasure> basics_;
+
+  friend class AdaptiveAggregator;
+};
+
+class AdaptiveAggregator final : public LocalAggregator {
+ public:
+  AdaptiveAggregator(const Workflow* wf, const SortScanEvaluator* sortscan,
+                     const LocalAggOptions& options);
+  LocalAggEngine engine() const override { return LocalAggEngine::kAdaptive; }
+
+ protected:
+  MeasureResultSet DoEvaluate(const LocalAggContext& ctx,
+                              LocalEvalStats* stats,
+                              LocalAggEngine* chosen) const override;
+
+ private:
+  LocalAggEngine Choose(const LocalAggContext& ctx,
+                        LocalEvalStats* stats) const;
+
+  const Workflow* wf_;
+  const SortScanEvaluator* sortscan_;
+  LocalAggOptions options_;
+  SortScanAggregator sortscan_engine_;
+  MorselAggregator morsel_engine_;
+  RadixAggregator radix_engine_;
+};
+
+}  // namespace agg_internal
+}  // namespace casm
+
+#endif  // CASM_AGG_ENGINES_H_

@@ -1,0 +1,178 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Morsel-driven thread-local pre-aggregation (engine (a) of the src/agg
+// subsystem). Phase 1: workers take statically assigned morsels of rows
+// and aggregate them into bounded thread-local hash tables; a full table
+// spills its entries into global hash partitions selected by the group's
+// coordinate hash. Phase 2: each partition merges its spilled entries —
+// in fixed shard order, so results do not depend on thread scheduling —
+// and the union of the (disjoint) partitions is the block result.
+
+#include <algorithm>
+#include <chrono>
+
+#include "agg/engines.h"
+#include "common/thread_pool.h"
+
+namespace casm {
+namespace agg_internal {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One spilled thread-local table entry, destined for a global partition.
+struct SpilledGroup {
+  int32_t slot;  // index into basics_
+  Coords coords;
+  Accumulator acc;
+};
+
+}  // namespace
+
+MorselAggregator::MorselAggregator(const Workflow* wf,
+                                   const LocalAggOptions& options)
+    : wf_(wf), options_(options), basics_(CollectBasics(*wf)) {}
+
+MeasureResultSet MorselAggregator::DoEvaluate(const LocalAggContext& ctx,
+                                              LocalEvalStats* stats,
+                                              LocalAggEngine* chosen) const {
+  (void)chosen;
+  const auto start = std::chrono::steady_clock::now();
+  MeasureResultSet results(wf_->num_measures());
+  // kSortOnly measures the sort/scan's sort stage; a hash engine has no
+  // sort, so the phase is a no-op here.
+  if (ctx.phase != LocalEvalPhase::kFull) {
+    if (stats != nullptr) stats->records += ctx.n;
+    return results;
+  }
+  const Schema& schema = *wf_->schema();
+  const int width = schema.num_attributes();
+  const size_t num_basics = basics_.size();
+  const int64_t morsel = std::max<int64_t>(1, options_.morsel_rows);
+  const int64_t num_morsels = (ctx.n + morsel - 1) / morsel;
+  const size_t partitions = static_cast<size_t>(
+      std::max(1, options_.morsel_partitions));
+  int shards = 1;
+  if (ctx.pool != nullptr) {
+    shards = static_cast<int>(std::clamp<int64_t>(
+        num_morsels, 1, ctx.pool->num_threads()));
+  }
+
+  // Phase 1: thread-local pre-aggregation, spilling full tables into the
+  // shard's partition buckets (appended, merged in phase 2).
+  std::vector<std::vector<std::vector<SpilledGroup>>> shard_parts(
+      static_cast<size_t>(shards));
+  auto run_shard = [&](size_t shard) {
+    std::vector<std::vector<SpilledGroup>>& parts =
+        shard_parts[shard];
+    parts.resize(partitions);
+    std::vector<AccMap> local(num_basics);
+    size_t local_entries = 0;
+    auto spill_local = [&] {
+      for (size_t b = 0; b < num_basics; ++b) {
+        for (auto& [coords, acc] : local[b]) {
+          const size_t p = CoordsHash()(coords) % partitions;
+          parts[p].push_back(SpilledGroup{static_cast<int32_t>(b), coords,
+                                          std::move(acc)});
+        }
+        local[b].clear();
+      }
+      local_entries = 0;
+    };
+    for (int64_t mi = static_cast<int64_t>(shard); mi < num_morsels;
+         mi += shards) {
+      if (ctx.cancel != nullptr && ctx.cancel->cancelled()) break;
+      const int64_t begin = mi * morsel;
+      const int64_t end = std::min(ctx.n, begin + morsel);
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t* row = ctx.rows + r * width;
+        for (size_t b = 0; b < num_basics; ++b) {
+          const BasicMeasure& info = basics_[b];
+          Coords coords = RegionOfRecord(schema, *info.granularity, row);
+          auto it = local[b].find(coords);
+          if (it == local[b].end()) {
+            it = local[b].emplace(std::move(coords), Accumulator(info.fn))
+                     .first;
+            ++local_entries;
+          }
+          it->second.Add(static_cast<double>(row[info.field]));
+        }
+      }
+      if (local_entries >= static_cast<size_t>(options_.max_local_entries)) {
+        spill_local();
+      }
+    }
+    spill_local();
+  };
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    // Errors cannot happen in run_shard (no allocation failure handling
+    // beyond bad_alloc, which ParallelFor surfaces as Status); a
+    // cancellation mid-flight leaves partial shard output, which is fine
+    // because the caller discards results once the token has tripped.
+    (void)ctx.pool->ParallelFor(static_cast<size_t>(shards), run_shard,
+                                ctx.cancel);
+  }
+  if (ctx.cancel != nullptr && ctx.cancel->cancelled()) return results;
+
+  // Phase 2: merge each partition's spilled entries in shard order. The
+  // same coordinates always hash to the same partition, so partitions are
+  // disjoint per measure and merge independently (parallelizable without
+  // affecting merge order).
+  std::vector<std::vector<AccMap>> part_acc(partitions);
+  auto merge_partition = [&](size_t p) {
+    std::vector<AccMap>& maps = part_acc[p];
+    maps.resize(num_basics);
+    for (int s = 0; s < shards; ++s) {
+      for (SpilledGroup& g : shard_parts[static_cast<size_t>(s)][p]) {
+        AccMap& map = maps[static_cast<size_t>(g.slot)];
+        auto it = map.find(g.coords);
+        if (it == map.end()) {
+          map.emplace(std::move(g.coords), std::move(g.acc));
+        } else {
+          it->second.Merge(g.acc);
+        }
+      }
+    }
+  };
+  if (ctx.pool == nullptr) {
+    for (size_t p = 0; p < partitions; ++p) {
+      if (ctx.cancel != nullptr && ctx.cancel->cancelled()) return results;
+      merge_partition(p);
+    }
+  } else {
+    (void)ctx.pool->ParallelFor(partitions, merge_partition, ctx.cancel);
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) return results;
+  }
+
+  // The block result is the plain union of the (disjoint) partitions.
+  for (size_t b = 0; b < num_basics; ++b) {
+    MeasureValueMap& out = results.mutable_values(basics_[b].index);
+    size_t groups = 0;
+    for (size_t p = 0; p < partitions; ++p) {
+      groups += part_acc[p][b].size();
+    }
+    out.reserve(groups);
+    for (size_t p = 0; p < partitions; ++p) {
+      for (const auto& [coords, acc] : part_acc[p][b]) {
+        out.emplace(coords, acc.Result());
+      }
+    }
+  }
+  DeriveComposites(*wf_, ctx.cancel, &results);
+
+  if (stats != nullptr) {
+    stats->records += ctx.n;
+    stats->hashed_measures += static_cast<int64_t>(num_basics);
+    stats->eval_seconds += SecondsSince(start);
+  }
+  return results;
+}
+
+}  // namespace agg_internal
+}  // namespace casm

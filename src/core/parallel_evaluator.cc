@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "agg/combiner.h"
+#include "agg/local_aggregator.h"
 #include "common/logging.h"
 #include "common/math.h"
 #include "core/coverage.h"
@@ -151,8 +153,15 @@ Result<ParallelEvalResult> EvaluateParallel(
   const int num_attrs = schema.num_attributes();
   const std::vector<KeyGenAttr> keygen = BuildKeyGen(schema, plan);
   const SortScanEvaluator local_eval(&wf);
+  // Group-by engine for per-block local evaluation (src/agg): adaptive by
+  // default, it dispatches each reducer block to sort/scan, morsel or
+  // radix aggregation. Shares the sort/scan plan with `local_eval` so
+  // RowLess (combined sort) and the engines can never disagree on order.
+  const std::unique_ptr<LocalAggregator> local_agg =
+      MakeLocalAggregator(&wf, &local_eval, options.local_agg);
+  TraceRecorder* const trace =
+      options.trace != nullptr ? options.trace : TraceRecorder::Global();
   // Referenced by the map/reduce lambdas below: must outlive engine.Run().
-  const std::vector<int> basics = wf.BasicMeasures();
   const int early_agg_value_width = 1 + num_attrs + Accumulator::kPartialSize;
 
   ParallelEvalResult out;
@@ -210,13 +219,18 @@ Result<ParallelEvalResult> EvaluateParallel(
     spec.reduce_fn = [&](int reducer, const GroupView& group) {
       std::vector<int64_t> rows = group.CopyValues();
       LocalEvalStats stats;
-      const LocalEvalPhase local_phase =
-          options.phase == ParallelEvalPhase::kLocalSortOnly
-              ? LocalEvalPhase::kSortOnly
-              : LocalEvalPhase::kFull;
-      MeasureResultSet block_results = local_eval.Evaluate(
-          rows.data(), group.size(), plan.combined_sort, local_phase, &stats,
-          group.cancellation_token());
+      LocalAggContext ctx;
+      ctx.rows = rows.data();
+      ctx.n = group.size();
+      ctx.assume_sorted = plan.combined_sort;
+      ctx.phase = options.phase == ParallelEvalPhase::kLocalSortOnly
+                      ? LocalEvalPhase::kSortOnly
+                      : LocalEvalPhase::kFull;
+      ctx.cancel = group.cancellation_token();
+      ctx.trace = trace;
+      ctx.task = reducer;
+      ctx.expected_groups_hint = plan.predicted_block_groups;
+      MeasureResultSet block_results = local_agg->Evaluate(ctx, &stats);
       // A cancelled attempt's partial results must never reach the sink;
       // the surrounding run is failing with Cancelled/DeadlineExceeded.
       if (group.cancelled()) return;
@@ -236,16 +250,13 @@ Result<ParallelEvalResult> EvaluateParallel(
     spec.value_width = early_agg_value_width;
 
     spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
-      // Local aggregation state: (block + measure + region) -> accumulator.
-      struct VecHash {
-        size_t operator()(const std::vector<int64_t>& v) const {
-          return CoordsHash()(v);
-        }
-      };
-      std::unordered_map<std::vector<int64_t>, Accumulator, VecHash> partials;
+      // Per-split adaptive combiner (agg/combiner.h): a bounded table of
+      // (block, measure, region) -> partial state, flushed to the shuffle
+      // when full and bypassed outright when the split's groups turn out
+      // near-unique.
+      EarlyAggCombiner combiner(&wf, options.local_agg, trace);
       std::vector<int64_t> g(static_cast<size_t>(num_attrs));
       std::vector<int64_t> key(static_cast<size_t>(num_attrs));
-      std::vector<int64_t> group_key;
       for (int64_t r = begin; r < end; ++r) {
         if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
         const int64_t* row = table.row(r);
@@ -254,37 +265,10 @@ Result<ParallelEvalResult> EvaluateParallel(
               row[a], keygen[static_cast<size_t>(a)].level);
         }
         ForEachBlock(keygen, g, &key, [&](const int64_t* k) {
-          for (int mi : basics) {
-            const Measure& m = wf.measure(mi);
-            group_key.assign(k, k + num_attrs);
-            group_key.push_back(mi);
-            Coords coords = RegionOfRecord(schema, m.granularity, row);
-            group_key.insert(group_key.end(), coords.begin(), coords.end());
-            auto it = partials.find(group_key);
-            if (it == partials.end()) {
-              it = partials.emplace(group_key, Accumulator(m.fn)).first;
-            }
-            it->second.Add(static_cast<double>(row[m.field]));
-          }
+          combiner.AddRecord(k, row, emitter);
         });
       }
-      // Flush: one pair per (block, measure, region).
-      std::vector<int64_t> value(static_cast<size_t>(early_agg_value_width));
-      double partial[Accumulator::kPartialSize];
-      for (const auto& [gk, acc] : partials) {
-        const int64_t* block = gk.data();
-        value[0] = gk[static_cast<size_t>(num_attrs)];  // measure id
-        for (int a = 0; a < num_attrs; ++a) {
-          value[static_cast<size_t>(1 + a)] =
-              gk[static_cast<size_t>(num_attrs + 1 + a)];
-        }
-        acc.ToPartial(partial);
-        for (int i = 0; i < Accumulator::kPartialSize; ++i) {
-          value[static_cast<size_t>(1 + num_attrs + i)] =
-              std::bit_cast<int64_t>(partial[i]);
-        }
-        emitter->Emit(block, value.data());
-      }
+      combiner.Flush(emitter);
     };
     spec.reduce_fn = [&](int reducer, const GroupView& group) {
       LocalEvalStats stats;
@@ -340,8 +324,6 @@ Result<ParallelEvalResult> EvaluateParallel(
     };
   }
 
-  TraceRecorder* const trace =
-      options.trace != nullptr ? options.trace : TraceRecorder::Global();
   const bool tracing = trace->enabled();
   const double eval_start = tracing ? trace->NowSeconds() : 0;
   Result<MapReduceMetrics> run = engine.Run(spec, table.num_rows());

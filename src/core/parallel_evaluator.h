@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "agg/local_aggregator.h"
 #include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "core/plan.h"
@@ -102,6 +103,12 @@ struct ParallelEvalOptions {
   /// recomputing them; EvaluateParallel checkpoints the full result set
   /// (phase kFull only). Verification failures degrade to recompute.
   CheckpointOptions checkpoint;
+
+  /// Local aggregation engine and chooser knobs (src/agg): which group-by
+  /// engine evaluates each reducer block, and how the map-side combiner
+  /// bounds and bypasses early aggregation. The engine defaults to the
+  /// adaptive chooser (or the CASM_LOCAL_AGG environment override).
+  LocalAggOptions local_agg;
 };
 
 /// Copies the robustness knobs of `options` (retry budget, injectors,

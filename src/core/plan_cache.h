@@ -34,12 +34,23 @@ class PlanCache {
 
   /// Remembers `plan` with its observed heaviest reducer workload (lower
   /// is better). Remembering an equivalent plan again keeps the better
-  /// score.
-  void Remember(const ExecutionPlan& plan, double observed_max_load);
+  /// score. `num_records`/`num_reducers` record the table and cluster
+  /// the load was observed on (0 = unknown); FindFeasible uses them to
+  /// decide whether the cached clustering factor still applies.
+  void Remember(const ExecutionPlan& plan, double observed_max_load,
+                int64_t num_records = 0, int num_reducers = 0);
 
   /// Returns the best-scored remembered plan whose key is feasible for
-  /// `wf`, or nullopt.
-  std::optional<ExecutionPlan> FindFeasible(const Workflow& wf) const;
+  /// `wf`, or nullopt. A cached key stays good across tables with the
+  /// same value distribution (§V), but its clustering factor and load
+  /// prediction do NOT — they were tuned to the table the plan was
+  /// remembered on. When the caller supplies the current table's
+  /// `num_records`/`num_reducers` and they differ from the entry's
+  /// observation context, the returned plan's clustering factor is
+  /// re-derived from the cost model and its predicted_max_load refreshed.
+  std::optional<ExecutionPlan> FindFeasible(const Workflow& wf,
+                                            int64_t num_records = 0,
+                                            int num_reducers = 0) const;
 
   int size() const;
 
@@ -47,6 +58,8 @@ class PlanCache {
   struct Entry {
     ExecutionPlan plan;
     double score;
+    int64_t observed_records;
+    int observed_reducers;
   };
 
   mutable std::mutex mu_;

@@ -39,6 +39,14 @@ struct LocalEvalStats {
   int64_t hashed_measures = 0;
   double sort_seconds = 0;
   double eval_seconds = 0;
+  /// Blocks evaluated by each LocalAggregator engine (src/agg). A plain
+  /// SortScanEvaluator::Evaluate call counts under agg_blocks_sortscan so
+  /// the column is meaningful whether or not the agg layer is in front.
+  int64_t agg_blocks_sortscan = 0;
+  int64_t agg_blocks_morsel = 0;
+  int64_t agg_blocks_radix = 0;
+  /// Rows inspected by the adaptive chooser's first-morsel sample.
+  int64_t agg_sampled_rows = 0;
 
   void Accumulate(const LocalEvalStats& other) {
     records += other.records;
@@ -47,6 +55,10 @@ struct LocalEvalStats {
     hashed_measures += other.hashed_measures;
     sort_seconds += other.sort_seconds;
     eval_seconds += other.eval_seconds;
+    agg_blocks_sortscan += other.agg_blocks_sortscan;
+    agg_blocks_morsel += other.agg_blocks_morsel;
+    agg_blocks_radix += other.agg_blocks_radix;
+    agg_sampled_rows += other.agg_sampled_rows;
   }
 };
 

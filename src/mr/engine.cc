@@ -634,8 +634,8 @@ void Emitter::SpillBuffers() {
                             return CompareKeys(a, b, key_width) < 0;
                           });
     if (path.empty()) {
-      path = spill_dir_ + "/casm_emit_" +
-             std::to_string(spill_counter.fetch_add(1)) + ".spill";
+      path = SpillFilePath(spill_dir_, "casm_emit", spill_counter.fetch_add(1),
+                           ".spill");
       spill_files_.push_back(path);
     }
     Result<int64_t> offset = AppendRun(path, run);

@@ -2,6 +2,8 @@
 
 #include "mr/external_sort.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include <memory>
 #include <numeric>
 #include <queue>
+#include <random>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -51,6 +54,11 @@ class RunReader {
 
   bool ok() const { return file_ != nullptr; }
 
+  /// Non-OK when an fread failed mid-run. A short read without ferror
+  /// (an externally truncated run) is NOT distinguishable from EOF here;
+  /// ExternalSort catches it by checking the merged record count.
+  const Status& status() const { return status_; }
+
   /// Pointer to the current record, or nullptr at end of run.
   const int64_t* Current() {
     if (pos_ >= available_ && !Refill()) return nullptr;
@@ -61,9 +69,16 @@ class RunReader {
 
  private:
   bool Refill() {
+    if (!status_.ok()) return false;
     buffer_.resize(static_cast<size_t>(buffer_records_ * width_));
     size_t read = std::fread(buffer_.data(), sizeof(int64_t),
                              buffer_.size(), file_);
+    if (read < buffer_.size() && std::ferror(file_) != 0) {
+      status_ = Status::Internal("read error in spill file " + path_);
+      available_ = 0;
+      pos_ = 0;
+      return false;
+    }
     available_ = static_cast<int64_t>(read) / width_;
     pos_ = 0;
     return available_ > 0;
@@ -76,9 +91,25 @@ class RunReader {
   std::vector<int64_t> buffer_;
   int64_t pos_ = 0;
   int64_t available_ = 0;
+  Status status_ = Status::OK();
 };
 
 }  // namespace
+
+std::string SpillFilePath(const std::string& dir, const char* prefix,
+                          uint64_t seq, const char* ext) {
+  // One random token per process, drawn lazily: PID alone is not enough
+  // on systems that recycle PIDs quickly, and the token alone is not
+  // enough if a PRNG is seeded identically — combine both.
+  static const uint64_t token = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  char tag[64];
+  std::snprintf(tag, sizeof(tag), "_%d_%016llx_", static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(token));
+  return dir + "/" + prefix + tag + std::to_string(seq) + ext;
+}
 
 std::vector<int64_t> SortRecords(std::vector<int64_t> records, int width,
                                  const RecordLess& less) {
@@ -92,6 +123,13 @@ Result<int64_t> AppendRun(const std::string& path,
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::Internal("cannot open spill file " + path);
+  }
+  // C11 leaves the initial position of an append-mode stream
+  // implementation-defined (MSVC reports 0 until the first write); the
+  // returned run offset must be the current end of file.
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot position in spill file " + path);
   }
   const long offset_bytes = std::ftell(file);
   if (offset_bytes < 0) {
@@ -188,8 +226,8 @@ Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
         records.begin() + begin * width,
         records.begin() + (begin + run_count) * width);
     run = SortFlat(std::move(run), width, less);
-    std::string path = dir + "/casm_sort_" +
-                       std::to_string(counter.fetch_add(1)) + ".run";
+    std::string path =
+        SpillFilePath(dir, "casm_sort", counter.fetch_add(1), ".run");
     std::FILE* file = std::fopen(path.c_str(), "wb");
     if (file == nullptr) {
       return Status::Internal("cannot create spill file " + path);
@@ -214,6 +252,7 @@ Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
   }
   records.clear();
   records.shrink_to_fit();
+  if (options.post_spill_hook) options.post_spill_hook(run_paths);
 
   // K-way merge with a loser-tree-ish heap over the run heads.
   std::vector<std::unique_ptr<RunReader>> runs;
@@ -247,7 +286,20 @@ Result<std::vector<int64_t>> ExternalSort(std::vector<int64_t> records,
     runs[r]->Next();
     if (runs[r]->Current() != nullptr) heap.push(r);
   }
-  CASM_CHECK_EQ(static_cast<int64_t>(sorted.size()), count * width);
+  // A run can end early for two reasons, neither of which is a clean
+  // sort: an fread error (ferror set, surfaced by the reader) or a run
+  // file truncated on disk (fread sees a short, error-free read that is
+  // indistinguishable from EOF). Both must surface as Status, not as a
+  // crash in a release build's CHECK.
+  for (const std::unique_ptr<RunReader>& run : runs) {
+    if (!run->status().ok()) return run->status();
+  }
+  if (static_cast<int64_t>(sorted.size()) != count * width) {
+    return Status::Internal(
+        "spill run truncated: merged " +
+        std::to_string(sorted.size() / width) + " of " +
+        std::to_string(count) + " records");
+  }
   return sorted;
 }
 

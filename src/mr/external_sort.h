@@ -29,6 +29,11 @@ struct ExternalSortOptions {
   /// Optional run-trace recorder (obs/trace.h): each spilled run is
   /// recorded as a "memory" instant. Not owned; may be null.
   TraceRecorder* trace = nullptr;
+  /// Test-only: invoked after all runs have been spilled, before the
+  /// merge opens them. Lets fault-injection tests corrupt or truncate a
+  /// run on disk to exercise the merge's error paths.
+  std::function<void(const std::vector<std::string>& run_paths)>
+      post_spill_hook;
 };
 
 struct ExternalSortStats {
@@ -38,6 +43,15 @@ struct ExternalSortStats {
 
 /// Record comparator over two record pointers (each `width` int64s).
 using RecordLess = std::function<bool(const int64_t*, const int64_t*)>;
+
+/// Builds a spill-file path that is unique across concurrent processes
+/// sharing `dir`: "<dir>/<prefix>_<pid>_<token>_<seq><ext>", where
+/// `token` is a per-process random value drawn once at first use. A
+/// process-local counter alone is NOT enough: two `ctest -j` workers
+/// both counting from zero would open the same file and corrupt each
+/// other's merges.
+std::string SpillFilePath(const std::string& dir, const char* prefix,
+                          uint64_t seq, const char* ext);
 
 /// In-memory sort of a flat buffer of `width`-int64 records by `less`
 /// (the run-formation step of the external sort, exposed for map-side

@@ -36,7 +36,7 @@ const PhaseAttemptHistogram* RunReport::FindPhase(
 
 std::string RunReport::Summary() const {
   if (phases.empty() && admission_waits == 0 && spill_events == 0 &&
-      pool_queue_spans == 0) {
+      pool_queue_spans == 0 && local_agg_engine.empty()) {
     return std::string();
   }
   std::string out = "run report: " +
@@ -64,6 +64,13 @@ std::string RunReport::Summary() const {
   if (pool_queue_spans > 0) {
     out += "\n  pool: " + std::to_string(pool_queue_spans) +
            " queue-wait(s) (" + Secs(pool_queue_seconds) + " total)";
+  }
+  if (!local_agg_engine.empty()) {
+    out += "\n  localagg: sortscan=" +
+           std::to_string(localagg_blocks_sortscan) +
+           " morsel=" + std::to_string(localagg_blocks_morsel) +
+           " radix=" + std::to_string(localagg_blocks_radix) +
+           " block(s) (dominant " + local_agg_engine + ")";
   }
   return out;
 }
@@ -123,6 +130,26 @@ RunReport BuildRunReport(const std::vector<TraceEvent>& events) {
     } else if (std::strcmp(ev.category, "pool") == 0 && !ev.instant) {
       ++report.pool_queue_spans;
       report.pool_queue_seconds += ev.duration_seconds;
+    } else if (std::strcmp(ev.category, "localagg") == 0 && !ev.instant) {
+      if (ev.name == "sortscan") {
+        ++report.localagg_blocks_sortscan;
+      } else if (ev.name == "morsel") {
+        ++report.localagg_blocks_morsel;
+      } else if (ev.name == "radix") {
+        ++report.localagg_blocks_radix;
+      }
+    }
+  }
+  if (report.localagg_blocks_sortscan > 0 ||
+      report.localagg_blocks_morsel > 0 || report.localagg_blocks_radix > 0) {
+    report.local_agg_engine = "sortscan";
+    int64_t best = report.localagg_blocks_sortscan;
+    if (report.localagg_blocks_morsel > best) {
+      best = report.localagg_blocks_morsel;
+      report.local_agg_engine = "morsel";
+    }
+    if (report.localagg_blocks_radix > best) {
+      report.local_agg_engine = "radix";
     }
   }
   return report;

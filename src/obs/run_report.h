@@ -44,6 +44,15 @@ struct RunReport {
   int64_t pool_queue_spans = 0;      // "pool"/"queue-wait" spans
   double pool_queue_seconds = 0;
 
+  /// Local aggregation activity: "localagg" spans are one per evaluated
+  /// block, named after the group-by engine that ran it (src/agg).
+  int64_t localagg_blocks_sortscan = 0;
+  int64_t localagg_blocks_morsel = 0;
+  int64_t localagg_blocks_radix = 0;
+  /// Engine that evaluated the most blocks ("sortscan" / "morsel" /
+  /// "radix"; ties break in that order). Empty without localagg spans.
+  std::string local_agg_engine;
+
   /// The histogram for `phase` ("map" / "reduce"), or null when the trace
   /// held no attempts of that phase.
   const PhaseAttemptHistogram* FindPhase(const std::string& phase) const;

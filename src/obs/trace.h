@@ -73,7 +73,7 @@ const char* TraceOutcomeName(TraceOutcome outcome);
 /// One recorded event. Spans have a duration; instants mark a point in
 /// time. `category` must be a static-lifetime string (the span taxonomy
 /// of DESIGN.md §9: "job", "phase", "map", "reduce", "memory", "pool",
-/// "eval", "ckpt").
+/// "eval", "ckpt", "localagg").
 struct TraceEvent {
   bool instant = false;
   const char* category = "";

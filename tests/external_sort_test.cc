@@ -5,9 +5,14 @@
 // results must survive arbitrarily small memory budgets, and spill
 // activity must be reported.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <mutex>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -184,6 +189,74 @@ TEST(ExternalSortTest, UnwritableSpillDirectoryFailsCleanly) {
       ExternalSort(records, 2, LexLess(2), options, nullptr);
   ASSERT_FALSE(sorted.ok());
   EXPECT_EQ(sorted.status().code(), StatusCode::kInternal);
+}
+
+TEST(AppendRunTest, SecondRunStartsWhereFirstEnds) {
+  // Regression: AppendRun opens in append mode, whose initial position is
+  // implementation-defined until the first write — ftell before an
+  // explicit fseek(SEEK_END) may report 0 for a non-empty file, which
+  // would hand out overlapping run offsets. Two appended runs must
+  // replay independently via ReadRun from the returned offsets.
+  const std::string path =
+      SpillFilePath(std::filesystem::temp_directory_path().string(),
+                    "casm_test_append", 0, ".run");
+  const std::vector<int64_t> first = {1, 2, 3, 4, 5};
+  const std::vector<int64_t> second = {60, 70, 80};
+  Result<int64_t> off1 = AppendRun(path, first);
+  ASSERT_TRUE(off1.ok()) << off1.status();
+  EXPECT_EQ(off1.value(), 0);
+  Result<int64_t> off2 = AppendRun(path, second);
+  ASSERT_TRUE(off2.ok()) << off2.status();
+  EXPECT_EQ(off2.value(), static_cast<int64_t>(first.size()));
+
+  Result<std::vector<int64_t>> replay1 =
+      ReadRun(path, off1.value(), static_cast<int64_t>(first.size()));
+  Result<std::vector<int64_t>> replay2 =
+      ReadRun(path, off2.value(), static_cast<int64_t>(second.size()));
+  ASSERT_TRUE(replay1.ok()) << replay1.status();
+  ASSERT_TRUE(replay2.ok()) << replay2.status();
+  EXPECT_EQ(replay1.value(), first);
+  EXPECT_EQ(replay2.value(), second);
+  std::remove(path.c_str());
+}
+
+TEST(SpillFilePathTest, UniqueAcrossSequencesAndTaggedByProcess) {
+  // Spill names must embed the PID and a per-process random token:
+  // concurrent processes sharing one temp dir (ctest -j) must never open
+  // each other's files.
+  const std::string a = SpillFilePath("/tmp", "casm_sort", 0, ".run");
+  const std::string b = SpillFilePath("/tmp", "casm_sort", 1, ".run");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, SpillFilePath("/tmp", "casm_sort", 0, ".run"));
+  const std::string pid = std::to_string(static_cast<int>(::getpid()));
+  EXPECT_NE(a.find("casm_sort_" + pid + "_"), std::string::npos) << a;
+  EXPECT_EQ(a.find("/tmp/"), 0u) << a;
+  EXPECT_EQ(a.rfind(".run"), a.size() - 4) << a;
+  // The random token keeps two equal-PID processes (PID reuse across
+  // container namespaces) apart; it must actually appear in the name.
+  EXPECT_GT(a.size(), ("/tmp/casm_sort_" + pid + "__0.run").size());
+}
+
+TEST(ExternalSortTest, TruncatedSpillRunSurfacesStatusNotCrash) {
+  // Regression: a short read at merge time (torn run file) used to trip
+  // CASM_CHECK_EQ and abort the process; it must surface as a Status.
+  std::vector<int64_t> records = RandomRecords(500, 2, 11);
+  ExternalSortOptions options;
+  options.memory_limit_records = 50;
+  options.post_spill_hook = [](const std::vector<std::string>& run_paths) {
+    ASSERT_FALSE(run_paths.empty());
+    // Chop the shared spill file mid-record.
+    const std::string& path = run_paths.front();
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 12u);
+    std::filesystem::resize_file(path, size - 12);
+  };
+  Result<std::vector<int64_t>> sorted =
+      ExternalSort(records, 2, LexLess(2), options, nullptr);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.status().code(), StatusCode::kInternal);
+  EXPECT_NE(sorted.status().message().find("truncated"), std::string::npos)
+      << sorted.status().ToString();
 }
 
 TEST(ExternalSortTest, EngineSurfacesSpillFailures) {

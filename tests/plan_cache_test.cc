@@ -3,8 +3,11 @@
 // Tests for the §V plan cache: feasibility-gated reuse of previously
 // successful distribution keys across queries on the same dataset.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "core/cost_model.h"
 #include "core/key_derivation.h"
 #include "core/plan_cache.h"
 #include "queries/paper_data.h"
@@ -95,6 +98,46 @@ TEST(PlanCacheTest, InfeasibleEntriesAreSkipped) {
   cache.Remember(PlanWithKey(DeriveDistributionKeys(q6).query_key, 10),
                  99000);
   ASSERT_TRUE(cache.FindFeasible(q6).has_value());
+}
+
+TEST(PlanCacheTest, RefreshesClusteringFactorOnNewTableContext) {
+  // Regression: a cached key stays good across tables with the same value
+  // distribution (§V), but its clustering factor was tuned to the table
+  // it was observed on. A hit under a different table/cluster context
+  // must re-derive cf from the cost model instead of reusing it verbatim.
+  Workflow q5 = MakePaperQuery(PaperQuery::kQ5);
+  const Schema& schema = *q5.schema();
+  DistributionKey key = DeriveDistributionKeys(q5).query_key;
+  PlanCache cache;
+  cache.Remember(PlanWithKey(key, 1), 500.0, /*num_records=*/1000,
+                 /*num_reducers=*/4);
+
+  // Same observation context: the cached factor applies as-is.
+  std::optional<ExecutionPlan> same = cache.FindFeasible(q5, 1000, 4);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->clustering_factor, 1);
+
+  // Context-free lookup (legacy callers): no refresh possible.
+  std::optional<ExecutionPlan> legacy = cache.FindFeasible(q5);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->clustering_factor, 1);
+
+  // A 10000x larger table: cf=1 was tuned for 1000 records and would
+  // shatter the big table into maximally many overlapping blocks. The
+  // hit must carry the cost model's factor for the new context.
+  const int64_t big_records = 10000000;
+  std::optional<ExecutionPlan> big = cache.FindFeasible(q5, big_records, 4);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->key, key);
+  const int64_t n_g = big->key.NumBaseBlocks(schema);
+  const int64_t d = big->AnnotationWidth();
+  ASSERT_GT(d, 0);
+  const int64_t expected_cf = std::clamp<int64_t>(
+      OptimalClusteringFactor(big_records, n_g, d, 4, 0), 1,
+      std::max<int64_t>(1, n_g));
+  EXPECT_EQ(big->clustering_factor, expected_cf);
+  EXPECT_GT(big->clustering_factor, 1);  // stale cf would have been 1
+  EXPECT_GT(big->predicted_max_load, 0.0);
 }
 
 }  // namespace
