@@ -2,6 +2,7 @@
 
 #include "ckpt/checkpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,7 +56,46 @@ uint64_t ReadU64Le(const char* bytes) {
   return v;
 }
 
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+CheckpointBreaker::CheckpointBreaker(int failure_threshold,
+                                     double probe_seconds)
+    : failure_threshold_(failure_threshold),
+      probe_seconds_(probe_seconds > 0 ? probe_seconds : 0) {}
+
+bool CheckpointBreaker::ShouldAttempt() {
+  if (!open_) return true;
+  const double now = SteadyNowSeconds();
+  if (now >= next_probe_seconds_) {
+    next_probe_seconds_ = now + probe_seconds_;
+    return true;  // half-open probe
+  }
+  ++commits_skipped_;
+  degraded_ = true;
+  return false;
+}
+
+void CheckpointBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  open_ = false;
+}
+
+void CheckpointBreaker::RecordFailure() {
+  ++commits_failed_;
+  ++consecutive_failures_;
+  degraded_ = true;
+  if (failure_threshold_ > 0 && consecutive_failures_ >= failure_threshold_ &&
+      !open_) {
+    open_ = true;
+    next_probe_seconds_ = SteadyNowSeconds() + probe_seconds_;
+  }
+}
 
 CheckpointOptions CheckpointOptionsFromEnv() {
   CheckpointOptions options;

@@ -44,6 +44,14 @@ struct CheckpointOptions {
   /// Placement/replication/block-size knobs of the backing volume.
   DfsVolumeOptions volume;
 
+  /// Consecutive commit failures before the checkpoint circuit breaker
+  /// opens and the evaluator stops attempting commits (the query keeps
+  /// running without durability). <= 0 disables the breaker.
+  int breaker_failure_threshold = 3;
+  /// While open, one probe commit is allowed through per interval; a
+  /// successful probe closes the breaker again.
+  double breaker_probe_seconds = 5.0;
+
   bool enabled() const {
     return !dir.empty() && mode != CheckpointMode::kDisabled;
   }
@@ -65,6 +73,46 @@ uint64_t FingerprintTable(const Table& table);
 /// which both evaluators checkpoint. Restoring requires both to match;
 /// editing the query or the data invalidates old entries automatically.
 uint64_t FingerprintQuery(const Workflow& workflow, const Table& table);
+
+/// Circuit breaker guarding checkpoint commits (DESIGN.md §12). A
+/// persistently failing checkpoint store must degrade the run to
+/// "completed without durability", never fail the query — but retrying a
+/// dead store on every job wastes the whole IO-retry budget each time.
+/// The breaker opens after `failure_threshold` consecutive commit
+/// failures; while open, ShouldAttempt() lets one probe through per
+/// `probe_seconds` and skips (and counts) the rest. A successful probe
+/// closes it. Evaluators commit from one thread, so this is
+/// deliberately not thread-safe.
+class CheckpointBreaker {
+ public:
+  CheckpointBreaker(int failure_threshold, double probe_seconds);
+
+  /// True if the next commit should be attempted (breaker closed, or
+  /// open and due for a half-open probe). When false, the caller skips
+  /// the commit and the skip is counted.
+  bool ShouldAttempt();
+  void RecordSuccess();
+  void RecordFailure();
+
+  bool open() const { return open_; }
+  /// True once any commit was skipped or failed — the run's results are
+  /// (partially) not durable.
+  bool degraded() const { return degraded_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  int64_t commits_skipped() const { return commits_skipped_; }
+  int64_t commits_failed() const { return commits_failed_; }
+
+ private:
+  int failure_threshold_;
+  double probe_seconds_;
+  bool open_ = false;
+  bool degraded_ = false;
+  int consecutive_failures_ = 0;
+  int64_t commits_skipped_ = 0;
+  int64_t commits_failed_ = 0;
+  /// steady-clock seconds of the next allowed probe while open.
+  double next_probe_seconds_ = 0;
+};
 
 /// One query's checkpoint entries inside a DfsVolume. Entries are named
 /// q<fingerprint>.job<i> / q<fingerprint>.result, so volumes can be

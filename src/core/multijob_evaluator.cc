@@ -321,15 +321,41 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
   // Open the checkpoint log up front so restore verification (entry
   // scan, fingerprint check, block checksums) happens before any work.
   std::optional<CheckpointLog> ckpt;
+  DfsVolumeStats dfs_base;
   if (options.checkpoint.enabled()) {
+    CheckpointOptions ckpt_options = options.checkpoint;
+    if (ckpt_options.volume.fault_plan == nullptr) {
+      ckpt_options.volume.fault_plan = options.fault_plan;
+    }
+    if (ckpt_options.volume.trace == nullptr) {
+      ckpt_options.volume.trace = options.trace;
+    }
     CASM_ASSIGN_OR_RETURN(
         CheckpointLog log,
-        CheckpointLog::Open(options.checkpoint,
-                            FingerprintQuery(wf, table)));
+        CheckpointLog::Open(ckpt_options, FingerprintQuery(wf, table)));
     ckpt.emplace(std::move(log));
+    dfs_base = ckpt->volume().stats();
   }
   TraceRecorder* const trace =
       options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  // Circuit breaker around per-job commits: a persistently failing
+  // checkpoint store degrades the run to "completed without durability"
+  // instead of failing the query (DESIGN.md §12).
+  CheckpointBreaker breaker(options.checkpoint.breaker_failure_threshold,
+                            options.checkpoint.breaker_probe_seconds);
+  // Attributes the checkpoint volume's resilience activity since Open to
+  // this run's metrics.
+  const auto apply_dfs_stats = [&ckpt, &dfs_base](MapReduceMetrics* m) {
+    if (!ckpt.has_value()) return;
+    const DfsVolumeStats s = ckpt->volume().stats();
+    m->dfs_io_retries += s.io_retries - dfs_base.io_retries;
+    m->dfs_write_failovers += s.write_failovers - dfs_base.write_failovers;
+    m->dfs_corrupt_replicas += s.corrupt_replicas - dfs_base.corrupt_replicas;
+    m->dfs_repaired_replicas +=
+        s.repaired_replicas - dfs_base.repaired_replicas;
+    m->dfs_under_replicated_blocks +=
+        s.under_replicated_blocks - dfs_base.under_replicated_blocks;
+  };
 
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < wf.num_measures(); ++i) {
@@ -362,6 +388,10 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
         out.total_metrics.checkpoint_bytes_restored += bytes_restored;
         continue;
       }
+      if (restored.status().code() != StatusCode::kNotFound) {
+        // Torn/corrupt/stale entry: recompute, but count why.
+        ++out.total_metrics.checkpoint_restore_failures;
+      }
     }
     // The caller's deadline budgets the whole job sequence: each job gets
     // what the previous jobs left over, and a sequence that exhausts the
@@ -388,28 +418,48 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
     ++out.jobs;
     if (ckpt.has_value()) {
       // Commit the finished job before starting the next one; after an
-      // OK commit a crash cannot lose it. Commit failure is a hard
-      // error — silently continuing would promise durability the log
-      // does not have.
+      // OK commit a crash cannot lose it. A commit failure degrades the
+      // run — this job's results stay in memory, un-checkpointed, and
+      // the breaker stops hammering a store that keeps failing — but
+      // never fails the query: the caller loses durability, not
+      // results, and the metrics say so.
       const bool tracing = trace->enabled();
-      const double write_start = tracing ? trace->NowSeconds() : 0;
-      Result<int64_t> bytes = ckpt->CommitJob(i, name, out.results.values(i));
-      if (tracing) {
-        trace->RecordSpan(
-            "ckpt", "ckpt-write " + name, write_start, trace->NowSeconds(),
-            /*task=*/-1, /*attempt=*/0,
-            bytes.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
-            bytes.ok() ? "bytes=" + std::to_string(bytes.value())
-                       : bytes.status().ToString(),
-            /*job=*/i);
+      if (!breaker.ShouldAttempt()) {
+        if (tracing) {
+          trace->RecordInstant("ckpt", "ckpt-skipped " + name, /*task=*/-1,
+                               "breaker open");
+        }
+      } else {
+        const double write_start = tracing ? trace->NowSeconds() : 0;
+        Result<int64_t> bytes =
+            ckpt->CommitJob(i, name, out.results.values(i));
+        if (tracing) {
+          trace->RecordSpan(
+              "ckpt", "ckpt-write " + name, write_start, trace->NowSeconds(),
+              /*task=*/-1, /*attempt=*/0,
+              bytes.ok() ? TraceOutcome::kOk : TraceOutcome::kFailed,
+              bytes.ok() ? "bytes=" + std::to_string(bytes.value())
+                         : bytes.status().ToString(),
+              /*job=*/i);
+        }
+        if (bytes.ok()) {
+          breaker.RecordSuccess();
+          out.total_metrics.checkpoint_bytes_written += bytes.value();
+        } else {
+          breaker.RecordFailure();
+          if (tracing && breaker.open()) {
+            trace->RecordInstant("ckpt", "ckpt-degraded", /*task=*/-1,
+                                 "breaker open: " + bytes.status().ToString());
+          }
+        }
       }
-      if (!bytes.ok()) {
-        return AnnotateJobError(bytes.status(), "checkpoint commit for", name,
-                                i);
-      }
-      out.total_metrics.checkpoint_bytes_written += bytes.value();
     }
   }
+  out.total_metrics.checkpoint_commit_failures += breaker.commits_failed();
+  out.total_metrics.checkpoint_commits_skipped += breaker.commits_skipped();
+  out.total_metrics.checkpoint_degraded =
+      out.total_metrics.checkpoint_degraded || breaker.degraded();
+  apply_dfs_stats(&out.total_metrics);
   return out;
 }
 

@@ -80,6 +80,9 @@ void ApplyEngineOptions(const ParallelEvalOptions& options,
   spec->emitter_spill_threshold_bytes = options.emitter_spill_threshold_bytes;
   spec->max_task_attempts = options.max_task_attempts;
   spec->fault_injector = options.fault_injector;
+  spec->fault_plan = options.fault_plan;
+  spec->retry_backoff_initial_ms = options.retry_backoff_initial_ms;
+  spec->retry_backoff_max_ms = options.retry_backoff_max_ms;
   spec->deadline_seconds = options.deadline_seconds;
   spec->cancel = options.cancel;
   spec->speculative_execution = options.speculative_execution;
@@ -119,12 +122,35 @@ Result<ParallelEvalResult> EvaluateParallel(
   std::optional<CheckpointLog> ckpt;
   TraceRecorder* const ckpt_trace =
       options.trace != nullptr ? options.trace : TraceRecorder::Global();
+  DfsVolumeStats dfs_base;
+  // Attributes the checkpoint volume's resilience activity (IO retries,
+  // failovers, repairs) since Open to this run's metrics.
+  const auto apply_dfs_stats = [&ckpt, &dfs_base](MapReduceMetrics* m) {
+    if (!ckpt.has_value()) return;
+    const DfsVolumeStats s = ckpt->volume().stats();
+    m->dfs_io_retries += s.io_retries - dfs_base.io_retries;
+    m->dfs_write_failovers += s.write_failovers - dfs_base.write_failovers;
+    m->dfs_corrupt_replicas += s.corrupt_replicas - dfs_base.corrupt_replicas;
+    m->dfs_repaired_replicas +=
+        s.repaired_replicas - dfs_base.repaired_replicas;
+    m->dfs_under_replicated_blocks +=
+        s.under_replicated_blocks - dfs_base.under_replicated_blocks;
+  };
+  int64_t ckpt_restore_failures = 0;
   if (options.checkpoint.enabled() &&
       options.phase == ParallelEvalPhase::kFull) {
+    CheckpointOptions ckpt_options = options.checkpoint;
+    if (ckpt_options.volume.fault_plan == nullptr) {
+      ckpt_options.volume.fault_plan = options.fault_plan;
+    }
+    if (ckpt_options.volume.trace == nullptr) {
+      ckpt_options.volume.trace = options.trace;
+    }
     CASM_ASSIGN_OR_RETURN(
         CheckpointLog log,
-        CheckpointLog::Open(options.checkpoint, FingerprintQuery(wf, table)));
+        CheckpointLog::Open(ckpt_options, FingerprintQuery(wf, table)));
     ckpt.emplace(std::move(log));
+    dfs_base = ckpt->volume().stats();
     const bool tracing = ckpt_trace->enabled();
     const double restore_start = tracing ? ckpt_trace->NowSeconds() : 0;
     int64_t bytes_restored = 0;
@@ -146,7 +172,13 @@ Result<ParallelEvalResult> EvaluateParallel(
       out.results = std::move(restored).value();
       out.metrics.checkpoint_jobs_restored = 1;
       out.metrics.checkpoint_bytes_restored = bytes_restored;
+      apply_dfs_stats(&out.metrics);
       return out;
+    }
+    if (!restored.ok() &&
+        restored.status().code() != StatusCode::kNotFound) {
+      // Corrupt/torn/stale entry: recompute, but leave a trace of why.
+      ckpt_restore_failures = 1;
     }
   }
 
@@ -356,13 +388,21 @@ Result<ParallelEvalResult> EvaluateParallel(
           bytes.ok() ? "bytes=" + std::to_string(bytes.value())
                      : bytes.status().ToString());
     }
-    if (!bytes.ok()) {
-      return Status(bytes.status().code(),
-                    "parallel evaluation: checkpoint commit failed: " +
-                        bytes.status().message());
+    if (bytes.ok()) {
+      out.metrics.checkpoint_bytes_written = bytes.value();
+    } else {
+      // Graceful degradation (DESIGN.md §12): a failing checkpoint store
+      // loses durability, never the completed evaluation.
+      out.metrics.checkpoint_commit_failures = 1;
+      out.metrics.checkpoint_degraded = true;
+      if (ckpt_tracing) {
+        ckpt_trace->RecordInstant("ckpt", "ckpt-degraded", /*task=*/-1,
+                                  bytes.status().ToString());
+      }
     }
-    out.metrics.checkpoint_bytes_written = bytes.value();
   }
+  out.metrics.checkpoint_restore_failures = ckpt_restore_failures;
+  apply_dfs_stats(&out.metrics);
   return out;
 }
 

@@ -67,6 +67,14 @@ struct ParallelEvalOptions {
   /// Optional deterministic fault injection forwarded to the engine
   /// (tests, chaos benches). See mr/engine.h.
   MapReduceFaultInjector fault_injector;
+  /// Composed multi-domain fault plan (common/fault.h) forwarded to the
+  /// engine and to the checkpoint volume; null = the process-global
+  /// CASM_FAULT_PLAN plan. Not owned.
+  const FaultPlan* fault_plan = nullptr;
+  /// Task retry backoff forwarded to the engine: first delay, doubling
+  /// per retry up to the cap, with jitter. 0 = retry immediately.
+  int64_t retry_backoff_initial_ms = 0;
+  int64_t retry_backoff_max_ms = 1000;
 
   // ---- Straggler resilience, forwarded to the engine (see mr/engine.h
   // for the full semantics of each knob).

@@ -6,15 +6,22 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "dfs/dfs.h"
+#include "obs/trace.h"
 
 namespace casm {
 namespace {
@@ -38,6 +45,18 @@ uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ull) 
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+/// splitmix64 finalizer, for deterministic backoff jitter.
+uint64_t MixBits(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitFromHash(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
 std::string CrcHex(uint32_t crc) {
@@ -189,17 +208,277 @@ Result<Manifest> ParseManifest(const std::string& text,
   return m;
 }
 
+/// Builds and atomically publishes the manifest for `name`: temp + fsync +
+/// rename + directory fsync. The rename is the commit point. Shared by
+/// FileWriter::Commit() and Scrub()'s re-replication path.
+Status PublishManifest(const std::string& root, const std::string& name,
+                       int64_t total_bytes, int64_t block_size,
+                       const std::vector<int64_t>& sizes,
+                       const std::vector<uint32_t>& crcs,
+                       const std::vector<std::vector<int>>& replicas) {
+  const int num_blocks = static_cast<int>(sizes.size());
+  std::ostringstream manifest;
+  manifest << "casm-dfs-manifest v1\n";
+  manifest << "name " << name << "\n";
+  manifest << "bytes " << total_bytes << "\n";
+  manifest << "block_size " << block_size << "\n";
+  manifest << "blocks " << num_blocks << "\n";
+  for (int i = 0; i < num_blocks; ++i) {
+    manifest << "block " << i << " " << sizes[static_cast<size_t>(i)] << " "
+             << CrcHex(crcs[static_cast<size_t>(i)]);
+    for (int node : replicas[static_cast<size_t>(i)]) manifest << " " << node;
+    manifest << "\n";
+  }
+  const std::string body = manifest.str();
+  const std::string text = body + "end " + CrcHex(Crc32(body)) + "\n";
+  const std::string final_path = ManifestPath(root, name);
+  const std::string tmp_path = final_path + ".tmp";
+  CASM_RETURN_IF_ERROR(WriteAndSync(tmp_path, text));
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename manifest for '" + name + "'");
+  }
+  return SyncDirectory(root);
+}
+
+const FaultPlan* ResolvedPlan(const DfsVolumeOptions& options) {
+  return options.fault_plan != nullptr ? options.fault_plan
+                                       : FaultPlan::FromEnv();
+}
+
+TraceRecorder* ResolvedTrace(const DfsVolumeOptions& options) {
+  return options.trace != nullptr ? options.trace : TraceRecorder::Global();
+}
+
+/// Decorrelated-jitter backoff sleep before IO retry number `retry`
+/// (0-based): uniform in [base, min(cap, base * 3^retry)], jitter hashed
+/// from the site so replays are deterministic.
+void SleepIoBackoff(const DfsVolumeOptions& options, int retry,
+                    uint64_t site) {
+  const double base =
+      static_cast<double>(std::max<int64_t>(options.io_retry_backoff_initial_ms, 0)) /
+      1000.0;
+  if (base <= 0) return;
+  const double cap =
+      static_cast<double>(std::max(options.io_retry_backoff_max_ms,
+                                   options.io_retry_backoff_initial_ms)) /
+      1000.0;
+  double hi = base;
+  for (int i = 0; i < retry && hi < cap; ++i) hi *= 3;
+  hi = std::min(hi, cap);
+  const double unit =
+      UnitFromHash(MixBits(site ^ (0xb0ffull + static_cast<uint64_t>(retry))));
+  const double delay = base + unit * (hi - base);
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime: resilience state shared by every copy of a volume handle.
+
+struct DfsVolume::FileWriter::Runtime {
+  explicit Runtime(int num_nodes)
+      : node_failures(static_cast<size_t>(num_nodes)),
+        node_suspect(static_cast<size_t>(num_nodes)) {}
+
+  /// Consecutive failed operations per node; reset by any success.
+  std::vector<std::atomic<int>> node_failures;
+  /// Sticky until an operation on the node succeeds again.
+  std::vector<std::atomic<bool>> node_suspect;
+
+  std::atomic<int64_t> io_retries{0};
+  std::atomic<int64_t> write_failovers{0};
+  std::atomic<int64_t> corrupt_replicas{0};
+  std::atomic<int64_t> repaired_replicas{0};
+  std::atomic<int64_t> under_replicated_blocks{0};
+  std::atomic<int64_t> nodes_suspected{0};
+  std::atomic<int64_t> staging_files_removed{0};
+
+  /// Keys "<file>#<block>" whose corruption was already logged, so rot is
+  /// reported to stderr once per block, not once per read.
+  std::mutex log_mu;
+  std::set<std::string> logged_corrupt;
+
+  void RecordNodeResult(const DfsVolumeOptions& options, int node, bool ok) {
+    if (node < 0 || node >= static_cast<int>(node_failures.size())) return;
+    auto& failures = node_failures[static_cast<size_t>(node)];
+    auto& suspect = node_suspect[static_cast<size_t>(node)];
+    if (ok) {
+      failures.store(0, std::memory_order_relaxed);
+      suspect.store(false, std::memory_order_relaxed);
+      return;
+    }
+    const int f = failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (f >= options.suspect_failure_threshold &&
+        !suspect.exchange(true, std::memory_order_relaxed)) {
+      nodes_suspected.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool Suspect(int node) const {
+    if (node < 0 || node >= static_cast<int>(node_suspect.size())) {
+      return false;
+    }
+    return node_suspect[static_cast<size_t>(node)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Logs one corrupt-replica line per (file, block).
+  void LogCorruptOnce(const std::string& name, int block, int node) {
+    const std::string key = name + "#" + std::to_string(block);
+    {
+      std::unique_lock<std::mutex> lock(log_mu);
+      if (!logged_corrupt.insert(key).second) return;
+    }
+    std::fprintf(stderr,
+                 "casm-dfs: corrupt replica of '%s' block %d on node %d "
+                 "(checksum mismatch)\n",
+                 name.c_str(), block, node);
+  }
+};
+
+namespace {
+
+using Runtime = DfsVolume::FileWriter::Runtime;
+
+/// One replica write with fault injection, health accounting, and bounded
+/// retry + backoff. A FaultPlan corruption spec makes the write *succeed*
+/// with rotted bytes — silent rot that only a CRC check can see later.
+/// Returns immediately (no retries) when the node is in an outage window.
+Status WriteReplicaWithRetry(const std::string& root,
+                             const DfsVolumeOptions& options,
+                             const FaultPlan* plan, Runtime* runtime,
+                             TraceRecorder* trace, const std::string& name,
+                             int block, int node, std::string_view bytes) {
+  if (plan != nullptr && plan->NodeDown(node)) {
+    return Status::Internal("node " + std::to_string(node) + " is down");
+  }
+  const std::string path = BlockPath(root, node, name, block);
+  std::error_code ec;
+  fs::create_directories(root + "/node" + std::to_string(node), ec);
+  const uint64_t site = Fnv1a64(name) ^ (static_cast<uint64_t>(block) << 8) ^
+                        static_cast<uint64_t>(node);
+  Status last;
+  for (int retry = 0;; ++retry) {
+    Status s;
+    bool rot = false;
+    if (plan != nullptr && plan->armed()) {
+      s = plan->OnIo("write", node);
+      if (s.ok()) rot = plan->ShouldCorruptBlock(name, block, node);
+    }
+    if (s.ok()) {
+      if (rot) {
+        std::string rotted(bytes);
+        if (rotted.empty()) {
+          rotted.push_back('\x01');
+        } else {
+          rotted[0] = static_cast<char>(rotted[0] ^ 0x40);
+        }
+        s = WriteAndSync(path, rotted);
+      } else {
+        s = WriteAndSync(path, bytes);
+      }
+    }
+    if (runtime != nullptr) runtime->RecordNodeResult(options, node, s.ok());
+    if (s.ok()) return s;
+    last = std::move(s);
+    if (retry >= options.max_io_retries ||
+        (plan != nullptr && plan->NodeDown(node))) {
+      return last;
+    }
+    if (runtime != nullptr) {
+      runtime->io_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace != nullptr && trace->enabled()) {
+      trace->RecordInstant("dfs", "dfs-retry", block,
+                           "write node=" + std::to_string(node) + " " +
+                               last.message());
+    }
+    SleepIoBackoff(options, retry, site);
+  }
+}
+
+/// One replica read with fault injection, health accounting, and bounded
+/// retry + backoff. NotFound (replica file absent) is deterministic and
+/// returned immediately; transient errors are retried.
+Result<std::string> ReadReplicaWithRetry(const std::string& root,
+                                         const DfsVolumeOptions& options,
+                                         const FaultPlan* plan,
+                                         Runtime* runtime,
+                                         TraceRecorder* trace,
+                                         const std::string& name, int block,
+                                         int node) {
+  const std::string path = BlockPath(root, node, name, block);
+  const uint64_t site = Fnv1a64(name) ^ (static_cast<uint64_t>(block) << 8) ^
+                        static_cast<uint64_t>(node) ^ 0x4eadull;
+  for (int retry = 0;; ++retry) {
+    Status injected;
+    if (plan != nullptr && plan->armed()) injected = plan->OnIo("read", node);
+    Result<std::string> bytes =
+        injected.ok() ? ReadWholeFile(path) : Result<std::string>(injected);
+    if (bytes.ok()) {
+      if (runtime != nullptr) runtime->RecordNodeResult(options, node, true);
+      return bytes;
+    }
+    if (bytes.status().code() == StatusCode::kNotFound) return bytes;
+    if (runtime != nullptr) runtime->RecordNodeResult(options, node, false);
+    if (retry >= options.max_io_retries ||
+        (plan != nullptr && plan->NodeDown(node))) {
+      return bytes;
+    }
+    if (runtime != nullptr) {
+      runtime->io_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace != nullptr && trace->enabled()) {
+      trace->RecordInstant("dfs", "dfs-retry", block,
+                           "read node=" + std::to_string(node) + " " +
+                               bytes.status().message());
+    }
+    SleepIoBackoff(options, retry, site);
+  }
+}
+
+/// Removes staging orphans (".<name>.staging" in the volume root) older
+/// than the GC age. Committed blocks and manifests are never touched —
+/// only dot-prefixed staging paths match. Returns the number removed.
+int64_t RemoveStaleStagingFiles(const std::string& root,
+                                const DfsVolumeOptions& options) {
+  int64_t removed = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string file = entry.path().filename().string();
+    const std::string suffix = ".staging";
+    if (file.empty() || file[0] != '.' || file.size() <= suffix.size() ||
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    std::error_code time_ec;
+    const auto mtime = fs::last_write_time(entry.path(), time_ec);
+    if (time_ec) continue;
+    const double age_seconds =
+        std::chrono::duration<double>(now - mtime).count();
+    if (age_seconds < options.staging_gc_age_seconds) continue;
+    if (std::remove(entry.path().string().c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // FileWriter
 
 DfsVolume::FileWriter::FileWriter(std::string root, DfsVolumeOptions options,
-                                  std::string name)
+                                  std::string name,
+                                  std::shared_ptr<Runtime> runtime)
     : root_(std::move(root)),
       options_(options),
       name_(std::move(name)),
-      staging_path_(root_ + "/." + name_ + ".staging") {}
+      staging_path_(root_ + "/." + name_ + ".staging"),
+      runtime_(std::move(runtime)) {}
 
 DfsVolume::FileWriter::FileWriter(FileWriter&& other) noexcept
     : root_(std::move(other.root_)),
@@ -211,7 +490,8 @@ DfsVolume::FileWriter::FileWriter(FileWriter&& other) noexcept
       block_sizes_(std::move(other.block_sizes_)),
       block_crcs_(std::move(other.block_crcs_)),
       total_bytes_(other.total_bytes_),
-      committed_(other.committed_) {
+      committed_(other.committed_),
+      runtime_(std::move(other.runtime_)) {
   other.staging_ = nullptr;
   other.committed_ = true;  // moved-from shell owns nothing to discard
 }
@@ -230,6 +510,7 @@ DfsVolume::FileWriter& DfsVolume::FileWriter::operator=(
     block_crcs_ = std::move(other.block_crcs_);
     total_bytes_ = other.total_bytes_;
     committed_ = other.committed_;
+    runtime_ = std::move(other.runtime_);
     other.staging_ = nullptr;
     other.committed_ = true;
   }
@@ -297,25 +578,39 @@ Status DfsVolume::FileWriter::Commit() {
     CASM_RETURN_IF_ERROR(SyncAndClose(f, staging_path_));
   }
 
-  // Replica placement reuses the table-placement logic: one "row" per
-  // block, replicas on distinct nodes, deterministic in (seed, name).
+  const FaultPlan* plan = ResolvedPlan(options_);
+  TraceRecorder* trace = ResolvedTrace(options_);
+  const bool tracing = trace != nullptr && trace->enabled();
+  const double span_start = tracing ? trace->NowSeconds() : 0;
+  Runtime* runtime = runtime_.get();
+
+  // Preferred replica placement reuses the table-placement logic: one
+  // "row" per block, replicas on distinct nodes, deterministic in (seed,
+  // name). Failover below may move replicas off the preferred nodes; the
+  // manifest records where each replica actually landed.
   DfsOptions placement_options;
   placement_options.num_nodes = options_.num_nodes;
   placement_options.replication = options_.replication;
   placement_options.block_size_rows = 1;
   placement_options.seed = options_.seed ^ Fnv1a64(name_);
-  std::vector<std::vector<int>> replicas(static_cast<size_t>(num_blocks));
+  std::vector<std::vector<int>> preferred(static_cast<size_t>(num_blocks));
   if (num_blocks > 0) {
     CASM_ASSIGN_OR_RETURN(
         DistributedFile placement,
         DistributedFile::Store(num_blocks, placement_options));
     CASM_CHECK_EQ(placement.num_blocks(), num_blocks);
     for (int i = 0; i < num_blocks; ++i) {
-      replicas[static_cast<size_t>(i)] = placement.block(i).replicas;
+      preferred[static_cast<size_t>(i)] = placement.block(i).replicas;
     }
   }
 
-  // Copy each staged block to its replica paths, fsyncing every copy.
+  // Copy each staged block to its replicas. Candidate order per block:
+  // healthy preferred nodes, then healthy others (rotating from the node
+  // after the first preferred), then suspect preferred, then suspect
+  // others; nodes in an outage window are skipped entirely. The write to
+  // each candidate retries transient errors with backoff; a candidate
+  // that still fails is passed over (failover). The commit fails only
+  // when a block cannot be placed on any node at all.
   std::FILE* staged = nullptr;
   if (num_blocks > 0) {
     staged = std::fopen(staging_path_.c_str(), "rb");
@@ -323,10 +618,13 @@ Status DfsVolume::FileWriter::Commit() {
       return Status::Internal("cannot reopen staging file " + staging_path_);
     }
   }
+  const int target = std::min(options_.replication, options_.num_nodes);
+  std::vector<std::vector<int>> chosen(static_cast<size_t>(num_blocks));
   std::string block_bytes;
   Status status;
   for (int i = 0; i < num_blocks && status.ok(); ++i) {
-    block_bytes.resize(static_cast<size_t>(block_sizes_[static_cast<size_t>(i)]));
+    block_bytes.resize(
+        static_cast<size_t>(block_sizes_[static_cast<size_t>(i)]));
     if (!block_bytes.empty() &&
         std::fread(block_bytes.data(), 1, block_bytes.size(), staged) !=
             block_bytes.size()) {
@@ -334,40 +632,67 @@ Status DfsVolume::FileWriter::Commit() {
                                 staging_path_);
       break;
     }
-    for (int node : replicas[static_cast<size_t>(i)]) {
-      std::error_code ec;
-      fs::create_directories(root_ + "/node" + std::to_string(node), ec);
-      status = WriteAndSync(BlockPath(root_, node, name_, i), block_bytes);
-      if (!status.ok()) break;
+    const std::vector<int>& want = preferred[static_cast<size_t>(i)];
+    auto is_preferred = [&want](int n) {
+      return std::find(want.begin(), want.end(), n) != want.end();
+    };
+    auto is_down = [&](int n) { return plan != nullptr && plan->NodeDown(n); };
+    auto is_suspect = [&](int n) {
+      return runtime != nullptr && runtime->Suspect(n);
+    };
+    std::vector<int> others;
+    const int start = want.empty() ? 0 : (want[0] + 1) % options_.num_nodes;
+    for (int k = 0; k < options_.num_nodes; ++k) {
+      const int n = (start + k) % options_.num_nodes;
+      if (!is_preferred(n)) others.push_back(n);
+    }
+    std::vector<int> candidates;
+    for (int pass = 0; pass < 4; ++pass) {
+      const bool want_suspect = pass >= 2;
+      const std::vector<int>& pool = (pass % 2 == 0) ? want : others;
+      for (int n : pool) {
+        if (is_down(n) || is_suspect(n) != want_suspect) continue;
+        candidates.push_back(n);
+      }
+    }
+    std::vector<int>& placed = chosen[static_cast<size_t>(i)];
+    for (int n : candidates) {
+      if (static_cast<int>(placed.size()) >= target) break;
+      Status w = WriteReplicaWithRetry(root_, options_, plan, runtime, trace,
+                                       name_, i, n, block_bytes);
+      if (w.ok()) placed.push_back(n);
+    }
+    if (placed.empty()) {
+      status = Status::Internal("block " + std::to_string(i) + " of '" +
+                                name_ + "' could not be placed on any node");
+      break;
+    }
+    for (int n : want) {
+      if (std::find(placed.begin(), placed.end(), n) != placed.end()) {
+        continue;
+      }
+      if (runtime != nullptr) {
+        runtime->write_failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (tracing) {
+        trace->RecordInstant("dfs", "dfs-failover", i,
+                             name_ + " off node " + std::to_string(n));
+      }
+    }
+    if (static_cast<int>(placed.size()) < target && runtime != nullptr) {
+      runtime->under_replicated_blocks.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (staged != nullptr) std::fclose(staged);
   CASM_RETURN_IF_ERROR(status);
 
-  // Build and atomically publish the manifest: temp + fsync + rename +
-  // directory fsync. The rename is the commit point.
-  std::ostringstream manifest;
-  manifest << "casm-dfs-manifest v1\n";
-  manifest << "name " << name_ << "\n";
-  manifest << "bytes " << total_bytes_ << "\n";
-  manifest << "block_size " << options_.block_size_bytes << "\n";
-  manifest << "blocks " << num_blocks << "\n";
-  for (int i = 0; i < num_blocks; ++i) {
-    manifest << "block " << i << " " << block_sizes_[static_cast<size_t>(i)]
-             << " " << CrcHex(block_crcs_[static_cast<size_t>(i)]);
-    for (int node : replicas[static_cast<size_t>(i)]) manifest << " " << node;
-    manifest << "\n";
+  CASM_RETURN_IF_ERROR(PublishManifest(root_, name_, total_bytes_,
+                                       options_.block_size_bytes, block_sizes_,
+                                       block_crcs_, chosen));
+  if (tracing) {
+    trace->RecordSpan("dfs", "dfs-write", span_start, trace->NowSeconds(),
+                      /*task=*/-1, /*attempt=*/0, TraceOutcome::kNone, name_);
   }
-  const std::string body = manifest.str();
-  const std::string text = body + "end " + CrcHex(Crc32(body)) + "\n";
-  const std::string final_path = ManifestPath(root_, name_);
-  const std::string tmp_path = final_path + ".tmp";
-  CASM_RETURN_IF_ERROR(WriteAndSync(tmp_path, text));
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot rename manifest for '" + name_ + "'");
-  }
-  CASM_RETURN_IF_ERROR(SyncDirectory(root_));
 
   committed_ = true;
   std::remove(staging_path_.c_str());
@@ -376,6 +701,18 @@ Status DfsVolume::FileWriter::Commit() {
 
 // ---------------------------------------------------------------------------
 // DfsVolume
+
+DfsVolume::DfsVolume(std::string root, DfsVolumeOptions options,
+                     std::shared_ptr<Runtime> runtime)
+    : root_(std::move(root)),
+      options_(options),
+      runtime_(std::move(runtime)) {}
+
+DfsVolume::DfsVolume(const DfsVolume&) = default;
+DfsVolume& DfsVolume::operator=(const DfsVolume&) = default;
+DfsVolume::DfsVolume(DfsVolume&&) noexcept = default;
+DfsVolume& DfsVolume::operator=(DfsVolume&&) noexcept = default;
+DfsVolume::~DfsVolume() = default;
 
 Result<DfsVolume> DfsVolume::Open(const std::string& root_dir,
                                   const DfsVolumeOptions& options) {
@@ -394,7 +731,10 @@ Result<DfsVolume> DfsVolume::Open(const std::string& root_dir,
   }
   DfsVolumeOptions clamped = options;
   clamped.replication = std::min(clamped.replication, clamped.num_nodes);
-  return DfsVolume(root_dir, clamped);
+  auto runtime = std::make_shared<Runtime>(clamped.num_nodes);
+  runtime->staging_files_removed.fetch_add(
+      RemoveStaleStagingFiles(root_dir, clamped), std::memory_order_relaxed);
+  return DfsVolume(root_dir, clamped, std::move(runtime));
 }
 
 Result<DfsVolume::FileWriter> DfsVolume::CreateFile(
@@ -402,7 +742,7 @@ Result<DfsVolume::FileWriter> DfsVolume::CreateFile(
   if (!ValidFileName(name)) {
     return Status::InvalidArgument("invalid DFS file name '" + name + "'");
   }
-  return FileWriter(root_, options_, name);
+  return FileWriter(root_, options_, name, runtime_);
 }
 
 Status DfsVolume::WriteFile(const std::string& name,
@@ -432,31 +772,86 @@ Result<std::string> DfsVolume::ReadFile(const std::string& name,
                         ReadWholeFile(manifest_path));
   CASM_ASSIGN_OR_RETURN(Manifest manifest, ParseManifest(manifest_text, name));
 
+  const FaultPlan* plan = ResolvedPlan(options_);
+  TraceRecorder* trace = ResolvedTrace(options_);
+  const bool tracing = trace != nullptr && trace->enabled();
+  const double span_start = tracing ? trace->NowSeconds() : 0;
+  Runtime* runtime = runtime_.get();
+
   std::string out;
   out.reserve(static_cast<size_t>(manifest.total_bytes));
   for (size_t i = 0; i < manifest.blocks.size(); ++i) {
     const Manifest::Block& block = manifest.blocks[i];
+    const int block_index = static_cast<int>(i);
     bool found = false;
+    int good_node = -1;
+    std::string good_bytes;
+    std::vector<int> corrupt_nodes;
     for (int node : block.replicas) {
-      Result<std::string> bytes =
-          ReadWholeFile(BlockPath(root_, node, name, static_cast<int>(i)));
-      if (bytes.ok() &&
-          static_cast<int64_t>(bytes->size()) == block.size &&
+      if (plan != nullptr && plan->NodeDown(node)) {
+        if (stats != nullptr) ++stats->replica_fallbacks;
+        continue;
+      }
+      Result<std::string> bytes = ReadReplicaWithRetry(
+          root_, options_, plan, runtime, trace, name, block_index, node);
+      if (!bytes.ok()) {
+        if (stats != nullptr) ++stats->replica_fallbacks;
+        continue;
+      }
+      if (static_cast<int64_t>(bytes->size()) == block.size &&
           Crc32(*bytes) == block.crc) {
-        out.append(*bytes);
+        good_bytes = std::move(*bytes);
+        good_node = node;
         found = true;
         break;
       }
-      if (stats != nullptr) ++stats->replica_fallbacks;
+      // Bytes present but wrong: rot. Count it, log once per block, and
+      // remember the node for repair once a good copy is found.
+      corrupt_nodes.push_back(node);
+      if (stats != nullptr) {
+        ++stats->replica_fallbacks;
+        ++stats->corrupt_replicas;
+      }
+      if (runtime != nullptr) {
+        runtime->corrupt_replicas.fetch_add(1, std::memory_order_relaxed);
+        runtime->LogCorruptOnce(name, block_index, node);
+      }
     }
     if (!found) {
+      if (tracing) {
+        trace->RecordSpan("dfs", "dfs-read", span_start, trace->NowSeconds(),
+                          /*task=*/block_index, /*attempt=*/0,
+                          TraceOutcome::kFailed, name);
+      }
       return Status::Internal("block " + std::to_string(i) + " of '" + name +
                               "' failed checksum on all replicas");
     }
+    // Repair-on-read: rewrite the corrupt replicas from the good copy
+    // (best effort — the read already succeeded).
+    for (int node : corrupt_nodes) {
+      Status repaired =
+          WriteReplicaWithRetry(root_, options_, plan, runtime, trace, name,
+                                block_index, node, good_bytes);
+      if (!repaired.ok()) continue;
+      if (stats != nullptr) ++stats->repaired_replicas;
+      if (runtime != nullptr) {
+        runtime->repaired_replicas.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (tracing) {
+        trace->RecordInstant("dfs", "dfs-repair", block_index,
+                             name + " node " + std::to_string(node) +
+                                 " from node " + std::to_string(good_node));
+      }
+    }
+    out.append(good_bytes);
     if (stats != nullptr) ++stats->blocks_read;
   }
   if (static_cast<int64_t>(out.size()) != manifest.total_bytes) {
     return Status::Internal("reassembled size mismatch for '" + name + "'");
+  }
+  if (tracing) {
+    trace->RecordSpan("dfs", "dfs-read", span_start, trace->NowSeconds(),
+                      /*task=*/-1, /*attempt=*/0, TraceOutcome::kNone, name);
   }
   return out;
 }
@@ -497,6 +892,184 @@ std::vector<std::string> DfsVolume::ListFiles() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+Result<ScrubReport> DfsVolume::Scrub() const {
+  const FaultPlan* plan = ResolvedPlan(options_);
+  TraceRecorder* trace = ResolvedTrace(options_);
+  const bool tracing = trace != nullptr && trace->enabled();
+  const double span_start = tracing ? trace->NowSeconds() : 0;
+  Runtime* runtime = runtime_.get();
+
+  ScrubReport report;
+  report.bad_replicas_per_node.assign(
+      static_cast<size_t>(options_.num_nodes), 0);
+  report.staging_files_removed = RemoveStaleStagingFiles(root_, options_);
+  if (runtime != nullptr) {
+    runtime->staging_files_removed.fetch_add(report.staging_files_removed,
+                                             std::memory_order_relaxed);
+  }
+  const int target = std::min(options_.replication, options_.num_nodes);
+
+  for (const std::string& name : ListFiles()) {
+    ++report.files_scanned;
+    Result<std::string> manifest_text =
+        ReadWholeFile(ManifestPath(root_, name));
+    if (!manifest_text.ok()) continue;
+    Result<Manifest> parsed = ParseManifest(*manifest_text, name);
+    if (!parsed.ok()) continue;  // torn manifest = not committed; skip
+    const Manifest& manifest = *parsed;
+
+    bool placement_changed = false;
+    std::vector<std::vector<int>> new_replicas(manifest.blocks.size());
+    std::vector<int64_t> sizes(manifest.blocks.size());
+    std::vector<uint32_t> crcs(manifest.blocks.size());
+    for (size_t i = 0; i < manifest.blocks.size(); ++i) {
+      const Manifest::Block& block = manifest.blocks[i];
+      const int block_index = static_cast<int>(i);
+      sizes[i] = block.size;
+      crcs[i] = block.crc;
+      ++report.blocks_checked;
+
+      std::vector<int> healthy;
+      std::vector<int> bad;
+      std::string good_bytes;
+      bool have_good = false;
+      for (int node : block.replicas) {
+        ++report.replicas_checked;
+        const auto count_bad = [&](bool corrupt) {
+          (corrupt ? report.replicas_corrupt : report.replicas_missing) += 1;
+          if (node >= 0 && node < options_.num_nodes) {
+            ++report.bad_replicas_per_node[static_cast<size_t>(node)];
+          }
+          bad.push_back(node);
+        };
+        if (plan != nullptr && plan->NodeDown(node)) {
+          count_bad(/*corrupt=*/false);
+          continue;
+        }
+        Result<std::string> bytes = ReadReplicaWithRetry(
+            root_, options_, plan, runtime, trace, name, block_index, node);
+        if (!bytes.ok()) {
+          count_bad(/*corrupt=*/false);
+          continue;
+        }
+        if (static_cast<int64_t>(bytes->size()) == block.size &&
+            Crc32(*bytes) == block.crc) {
+          healthy.push_back(node);
+          if (!have_good) {
+            good_bytes = std::move(*bytes);
+            have_good = true;
+          }
+        } else {
+          count_bad(/*corrupt=*/true);
+          if (runtime != nullptr) {
+            runtime->corrupt_replicas.fetch_add(1, std::memory_order_relaxed);
+            runtime->LogCorruptOnce(name, block_index, node);
+          }
+        }
+      }
+      if (!have_good) {
+        ++report.unrecoverable_blocks;
+        new_replicas[i] = block.replicas;  // leave the manifest alone
+        continue;
+      }
+      if (static_cast<int>(healthy.size()) < target) {
+        ++report.under_replicated_blocks;
+      }
+
+      // Repair: rewrite the block's own bad replicas first, then place
+      // extra copies on fresh nodes until the target is met.
+      std::vector<int> final_nodes = healthy;
+      const auto try_place = [&](int node) {
+        if (static_cast<int>(final_nodes.size()) >= target) return;
+        if (node < 0 || node >= options_.num_nodes) return;
+        if (std::find(final_nodes.begin(), final_nodes.end(), node) !=
+            final_nodes.end()) {
+          return;
+        }
+        if (plan != nullptr && plan->NodeDown(node)) return;
+        Status written =
+            WriteReplicaWithRetry(root_, options_, plan, runtime, trace, name,
+                                  block_index, node, good_bytes);
+        if (!written.ok()) return;
+        final_nodes.push_back(node);
+        ++report.replicas_rewritten;
+        if (runtime != nullptr) {
+          runtime->repaired_replicas.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      for (int node : bad) try_place(node);
+      for (int k = 0; k < options_.num_nodes; ++k) {
+        try_place((healthy.front() + 1 + k) % options_.num_nodes);
+      }
+      // A bad node the repair abandoned keeps a rotten block file around;
+      // drop it so it cannot be confused for a replica later.
+      for (int node : bad) {
+        if (std::find(final_nodes.begin(), final_nodes.end(), node) ==
+                final_nodes.end() &&
+            !(plan != nullptr && plan->NodeDown(node))) {
+          std::remove(BlockPath(root_, node, name, block_index).c_str());
+        }
+      }
+      new_replicas[i] = final_nodes;
+      if (final_nodes != block.replicas) placement_changed = true;
+    }
+    if (placement_changed) {
+      CASM_RETURN_IF_ERROR(PublishManifest(
+          root_, name, manifest.total_bytes, manifest.block_size, sizes, crcs,
+          new_replicas));
+    }
+  }
+  if (tracing) {
+    trace->RecordSpan("dfs", "dfs-scrub", span_start, trace->NowSeconds(),
+                      /*task=*/-1, /*attempt=*/0, TraceOutcome::kNone,
+                      report.ToString());
+  }
+  return report;
+}
+
+DfsVolumeStats DfsVolume::stats() const {
+  DfsVolumeStats out;
+  if (runtime_ == nullptr) return out;
+  out.io_retries = runtime_->io_retries.load(std::memory_order_relaxed);
+  out.write_failovers =
+      runtime_->write_failovers.load(std::memory_order_relaxed);
+  out.corrupt_replicas =
+      runtime_->corrupt_replicas.load(std::memory_order_relaxed);
+  out.repaired_replicas =
+      runtime_->repaired_replicas.load(std::memory_order_relaxed);
+  out.under_replicated_blocks =
+      runtime_->under_replicated_blocks.load(std::memory_order_relaxed);
+  out.nodes_suspected =
+      runtime_->nodes_suspected.load(std::memory_order_relaxed);
+  out.staging_files_removed =
+      runtime_->staging_files_removed.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool DfsVolume::NodeSuspect(int node) const {
+  return runtime_ != nullptr && runtime_->Suspect(node);
+}
+
+std::string ScrubReport::ToString() const {
+  std::ostringstream os;
+  os << "scrub: files=" << files_scanned << " blocks=" << blocks_checked
+     << " replicas=" << replicas_checked << " missing=" << replicas_missing
+     << " corrupt=" << replicas_corrupt
+     << " rewritten=" << replicas_rewritten
+     << " under_replicated=" << under_replicated_blocks
+     << " unrecoverable=" << unrecoverable_blocks
+     << " staging_removed=" << staging_files_removed;
+  if (!bad_replicas_per_node.empty()) {
+    os << " bad_per_node=[";
+    for (size_t i = 0; i < bad_replicas_per_node.size(); ++i) {
+      if (i > 0) os << " ";
+      os << bad_replicas_per_node[i];
+    }
+    os << "]";
+  }
+  return os.str();
 }
 
 }  // namespace casm

@@ -66,9 +66,32 @@ struct SuccessSpan {
   double end_seconds = 0;
 };
 
+/// Deterministic backoff delay (seconds) before replaying `task` after
+/// its `attempt`-th failure. Exponential in the attempt number, capped,
+/// with equal jitter (delay in [base/2, base]) hashed from the site so
+/// concurrent retries decorrelate while replays stay reproducible.
+double RetryBackoffSeconds(const MapReduceSpec& spec,
+                           MapReduceTaskPhase phase, int task, int attempt) {
+  if (spec.retry_backoff_initial_ms <= 0) return 0;
+  const int64_t cap =
+      std::max(spec.retry_backoff_max_ms, spec.retry_backoff_initial_ms);
+  int64_t base = spec.retry_backoff_initial_ms;
+  for (int i = 1; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  uint64_t h = 0xba0cull ^ (static_cast<uint64_t>(task) << 20) ^
+               (static_cast<uint64_t>(attempt) << 4) ^
+               (phase == MapReduceTaskPhase::kMap ? 0ull : 1ull);
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return static_cast<double>(base) * (0.5 + 0.5 * unit) / 1000.0;
+}
+
 /// Runs one task execution as a sequence of attempts. Each attempt first
 /// polls the cancellation token, sleeps any injected latency
-/// (cancellably), consults the fault injector, then runs `attempt_body`
+/// (cancellably), consults the fault plan, then runs `attempt_body`
 /// with exceptions converted to Status. A failed attempt is retried while
 /// the retry budget allows and the attempt produced no user-visible
 /// output (`*output_started` stays false); otherwise the failure is
@@ -77,19 +100,22 @@ struct SuccessSpan {
 /// its status is returned as-is for the phase runner to classify.
 /// `attempt_offset` shifts the attempt numbers seen by the injectors so a
 /// speculative backup execution (offset = max_task_attempts) is
-/// distinguishable from the primary (offset = 0).
+/// distinguishable from the primary (offset = 0). `plan` is the resolved
+/// fault plan (legacy injectors adapted in, possibly null = no injection).
 ///
 /// Tracing: every attempt that reaches its injectors gets a span in
 /// `trace` (category = phase name) tagged retried / failed / cancelled;
 /// the successful attempt's span goes to `success_span` instead (see
 /// above).
 Status RunTaskWithRetry(
-    const MapReduceSpec& spec, MapReduceTaskPhase phase, int task,
-    int attempt_offset, const CancellationToken* token,
-    RetryCounters* counters, TraceRecorder* trace, SuccessSpan* success_span,
+    const MapReduceSpec& spec, const FaultPlan* plan,
+    MapReduceTaskPhase phase, int task, int attempt_offset,
+    const CancellationToken* token, RetryCounters* counters,
+    TraceRecorder* trace, SuccessSpan* success_span,
     const std::function<Status(int attempt, bool* output_started)>&
         attempt_body) {
   const char* phase_name = TaskPhaseName(phase);
+  const bool armed = plan != nullptr && plan->armed();
   for (int attempt = 1;; ++attempt) {
     if (token != nullptr && token->cancelled()) return token->status();
     const int injector_attempt = attempt_offset + attempt;
@@ -103,9 +129,9 @@ Status RunTaskWithRetry(
     };
     bool output_started = false;
     Status status;
-    if (spec.slow_task_injector) {
+    if (armed) {
       const double delay =
-          spec.slow_task_injector(phase, task, injector_attempt);
+          plan->TaskSlowdownSeconds(phase_name, task, injector_attempt);
       if (delay > 0 && !InterruptibleSleep(delay, token)) {
         // Cancelled inside the injected delay: the attempt was already in
         // flight, so it still gets a span.
@@ -115,9 +141,7 @@ Status RunTaskWithRetry(
         }
         return token->status();
       }
-    }
-    if (spec.fault_injector) {
-      status = spec.fault_injector(phase, task, injector_attempt);
+      status = plan->OnTaskAttempt(phase_name, task, injector_attempt);
     }
     if (status.ok()) {
       try {
@@ -159,8 +183,15 @@ Status RunTaskWithRetry(
       return Status(status.code(), std::move(msg));
     }
     if (tracing) record_attempt(TraceOutcome::kRetried, status.message());
-    std::unique_lock<std::mutex> lock(counters->mu);
-    ++counters->retries;
+    {
+      std::unique_lock<std::mutex> lock(counters->mu);
+      ++counters->retries;
+    }
+    const double backoff =
+        RetryBackoffSeconds(spec, phase, task, injector_attempt);
+    if (backoff > 0 && !InterruptibleSleep(backoff, token)) {
+      return token->status();
+    }
   }
 }
 
@@ -203,11 +234,12 @@ class PhaseRunner {
       int task, int exec, int attempt, const CancellationToken* token,
       bool* output_started)>;
 
-  PhaseRunner(const MapReduceSpec& spec, MapReduceTaskPhase phase,
-              int num_tasks, ThreadPool* pool,
+  PhaseRunner(const MapReduceSpec& spec, const FaultPlan* plan,
+              MapReduceTaskPhase phase, int num_tasks, ThreadPool* pool,
               const CancellationToken* job_token, RetryCounters* counters,
               TraceRecorder* trace)
       : spec_(spec),
+        plan_(plan),
         phase_(phase),
         num_tasks_(num_tasks),
         pool_(pool),
@@ -368,7 +400,8 @@ class PhaseRunner {
     const auto start = std::chrono::steady_clock::now();
     SuccessSpan success_span;
     Status s = RunTaskWithRetry(
-        spec_, phase_, t, /*attempt_offset=*/e * spec_.max_task_attempts,
+        spec_, plan_, phase_, t,
+        /*attempt_offset=*/e * spec_.max_task_attempts,
         token, counters_, trace_, &success_span,
         [&](int attempt, bool* output_started) {
           return (*body_)(t, e, attempt, token, output_started);
@@ -496,6 +529,7 @@ class PhaseRunner {
   }
 
   const MapReduceSpec& spec_;
+  const FaultPlan* plan_;  // resolved fault plan, may be null
   MapReduceTaskPhase phase_;
   int num_tasks_;
   ThreadPool* pool_;
@@ -840,6 +874,45 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
 
   RetryCounters counters;
 
+  // ---- Fault-plan resolution: one unified injection registry per run.
+  // The three legacy MapReduceSpec injector hooks are adapted onto a
+  // run-local plan chained in front of spec.fault_plan (or the
+  // process-global CASM_FAULT_PLAN plan when unset), so every injection
+  // site below consults a single fault point.
+  const FaultPlan* const base_plan =
+      spec.fault_plan != nullptr ? spec.fault_plan : FaultPlan::FromEnv();
+  FaultPlan legacy_adapter;
+  const FaultPlan* plan = base_plan;
+  if (spec.fault_injector || spec.slow_task_injector ||
+      spec.record_throttle_injector) {
+    legacy_adapter.set_parent(base_plan);
+    auto to_phase = [](const char* phase) {
+      return phase[0] == 'm' ? MapReduceTaskPhase::kMap
+                             : MapReduceTaskPhase::kReduce;
+    };
+    if (spec.fault_injector) {
+      legacy_adapter.AddCrashHook(
+          [&spec, to_phase](const char* phase, int task, int attempt) {
+            return spec.fault_injector(to_phase(phase), task, attempt);
+          });
+    }
+    if (spec.slow_task_injector) {
+      legacy_adapter.AddSlowdownHook(
+          [&spec, to_phase](const char* phase, int task, int attempt) {
+            return spec.slow_task_injector(to_phase(phase), task, attempt);
+          });
+    }
+    if (spec.record_throttle_injector) {
+      legacy_adapter.AddThrottleHook(
+          [&spec, to_phase](const char* phase, int task, int attempt) {
+            return spec.record_throttle_injector(to_phase(phase), task,
+                                                 attempt);
+          });
+    }
+    plan = &legacy_adapter;
+  }
+  const bool plan_armed = plan != nullptr && plan->armed();
+
   // ---- Memory accounting and admission control (DESIGN.md §8). One
   // budget spans the whole run: emitters account their buffered pairs
   // against it and every task execution reserves a projected footprint
@@ -886,10 +959,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     emitter->Clear();
     emitter->cancel_ = token;
     emitter->set_record_throttle(
-        spec.record_throttle_injector
-            ? spec.record_throttle_injector(MapReduceTaskPhase::kMap, m,
-                                            attempt)
-            : 0);
+        plan_armed ? plan->RecordThrottleSeconds("map", m, attempt) : 0);
     if (spec.split_fn) {
       for (const auto& [begin, end] : spec.split_fn(m)) {
         if (token->cancelled()) return token->status();
@@ -913,8 +983,8 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   };
   PhaseStats map_stats;
   {
-    PhaseRunner runner(spec, MapReduceTaskPhase::kMap, num_mappers, &pool,
-                       &job_token, &counters, trace);
+    PhaseRunner runner(spec, plan, MapReduceTaskPhase::kMap, num_mappers,
+                       &pool, &job_token, &counters, trace);
     runner.set_admission(&budget,
                          [map_reservation](int) { return map_reservation; });
     Status map_status = runner.Run(map_body, &map_stats);
@@ -1009,8 +1079,8 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   std::vector<std::array<ReduceExecStats, 2>> reduce_exec_stats(
       static_cast<size_t>(num_reducers));
 
-  PhaseRunner runner(spec, MapReduceTaskPhase::kReduce, num_reducers, &pool,
-                     &job_token, &counters, trace);
+  PhaseRunner runner(spec, plan, MapReduceTaskPhase::kReduce, num_reducers,
+                     &pool, &job_token, &counters, trace);
   // Reduce admission: the gather buffer plus the sorted copy, both sized
   // by the reducer's exact pair count (known after the map phase). The
   // local evaluation behind reduce_fn is the user's to account.
@@ -1024,10 +1094,7 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     ReduceExecStats& rs =
         reduce_exec_stats[static_cast<size_t>(r)][static_cast<size_t>(exec)];
     const double throttle_per_record =
-        spec.record_throttle_injector
-            ? spec.record_throttle_injector(MapReduceTaskPhase::kReduce, r,
-                                            attempt)
-            : 0;
+        plan_armed ? plan->RecordThrottleSeconds("reduce", r, attempt) : 0;
     auto sort_start = std::chrono::steady_clock::now();
     std::vector<int64_t> sorted;
     ExternalSortStats spill;

@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/fault.h"
 #include "common/memory_budget.h"
 #include "common/result.h"
 #include "mr/metrics.h"
@@ -374,8 +375,21 @@ struct MapReduceSpec {
   /// Maximum attempts per map/reduce task (>= 1); the Hadoop-style retry
   /// budget. 2 means one retry after the first failure.
   int max_task_attempts = 2;
+  /// Delay before replaying a failed attempt: exponential backoff starting
+  /// here, doubling per retry, capped by `retry_backoff_max_ms`, with
+  /// deterministic equal jitter (delay in [base/2, base]). 0 = replay
+  /// immediately (the historical behavior). Sleeps are cancellable.
+  int64_t retry_backoff_initial_ms = 0;
+  /// Upper bound for the per-retry backoff delay.
+  int64_t retry_backoff_max_ms = 1000;
   /// Optional deterministic fault injection (tests, chaos benches).
   MapReduceFaultInjector fault_injector;
+  /// Unified fault plan (common/fault.h). All injection — including the
+  /// three legacy injector fields above/below, which the engine adapts
+  /// onto a local plan chained in front of this one — routes through a
+  /// FaultPlan. null = the process-global CASM_FAULT_PLAN plan (if any).
+  /// Not owned; must outlive Run().
+  const FaultPlan* fault_plan = nullptr;
 
   // ---- Straggler resilience (see the header comment).
 

@@ -51,6 +51,26 @@ std::string MapReduceMetrics::ToString() const {
     out += " checkpoint_bytes_restored=" +
            std::to_string(checkpoint_bytes_restored);
   }
+  if (checkpoint_commit_failures > 0 || checkpoint_commits_skipped > 0 ||
+      checkpoint_restore_failures > 0) {
+    out += " checkpoint_commit_failures=" +
+           std::to_string(checkpoint_commit_failures);
+    out += " checkpoint_commits_skipped=" +
+           std::to_string(checkpoint_commits_skipped);
+    out += " checkpoint_restore_failures=" +
+           std::to_string(checkpoint_restore_failures);
+  }
+  if (checkpoint_degraded) out += " checkpoint_degraded=1";
+  if (dfs_io_retries > 0 || dfs_write_failovers > 0 ||
+      dfs_corrupt_replicas > 0 || dfs_repaired_replicas > 0 ||
+      dfs_under_replicated_blocks > 0) {
+    out += " dfs_io_retries=" + std::to_string(dfs_io_retries);
+    out += " dfs_failovers=" + std::to_string(dfs_write_failovers);
+    out += " dfs_corrupt_replicas=" + std::to_string(dfs_corrupt_replicas);
+    out += " dfs_repaired_replicas=" + std::to_string(dfs_repaired_replicas);
+    out += " dfs_under_replicated_blocks=" +
+           std::to_string(dfs_under_replicated_blocks);
+  }
   out += " peak_tracked_bytes=" + std::to_string(peak_tracked_bytes);
   if (emitter_spilled_runs > 0) {
     out += " emitter_spilled_runs=" + std::to_string(emitter_spilled_runs);
@@ -121,6 +141,15 @@ void MapReduceMetrics::Accumulate(const MapReduceMetrics& other) {
   checkpoint_jobs_restored += other.checkpoint_jobs_restored;
   checkpoint_bytes_written += other.checkpoint_bytes_written;
   checkpoint_bytes_restored += other.checkpoint_bytes_restored;
+  checkpoint_commit_failures += other.checkpoint_commit_failures;
+  checkpoint_commits_skipped += other.checkpoint_commits_skipped;
+  checkpoint_restore_failures += other.checkpoint_restore_failures;
+  checkpoint_degraded = checkpoint_degraded || other.checkpoint_degraded;
+  dfs_io_retries += other.dfs_io_retries;
+  dfs_write_failovers += other.dfs_write_failovers;
+  dfs_corrupt_replicas += other.dfs_corrupt_replicas;
+  dfs_repaired_replicas += other.dfs_repaired_replicas;
+  dfs_under_replicated_blocks += other.dfs_under_replicated_blocks;
   // Merge the attempt-duration digests and recompute the scalar
   // quantiles from the union, so a sequence's p50 is the median over
   // every attempt in the sequence — not the max of per-job medians.

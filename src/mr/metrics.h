@@ -76,6 +76,26 @@ struct MapReduceMetrics {
   /// Serialized payload bytes committed to / restored from the log.
   int64_t checkpoint_bytes_written = 0;
   int64_t checkpoint_bytes_restored = 0;
+  /// Commit attempts that failed (the run continued without durability
+  /// for those jobs) and commits skipped because the checkpoint circuit
+  /// breaker was open.
+  int64_t checkpoint_commit_failures = 0;
+  int64_t checkpoint_commits_skipped = 0;
+  /// Restore attempts that failed verification (corrupt block, torn
+  /// manifest, fingerprint mismatch) and degraded to recompute. NotFound
+  /// (never committed) is not counted.
+  int64_t checkpoint_restore_failures = 0;
+  /// True when any checkpoint commit failed or was skipped: the query
+  /// completed, but some results are not durable.
+  bool checkpoint_degraded = false;
+
+  // DFS storage health (dfs/volume.h stats deltas attributed to this
+  // run by the evaluators).
+  int64_t dfs_io_retries = 0;
+  int64_t dfs_write_failovers = 0;
+  int64_t dfs_corrupt_replicas = 0;
+  int64_t dfs_repaired_replicas = 0;
+  int64_t dfs_under_replicated_blocks = 0;
 
   /// Task attempts that failed (injected faults, non-OK statuses, or
   /// exceptions thrown by user map/reduce functions). Cancelled attempts

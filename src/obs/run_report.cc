@@ -36,7 +36,9 @@ const PhaseAttemptHistogram* RunReport::FindPhase(
 
 std::string RunReport::Summary() const {
   if (phases.empty() && admission_waits == 0 && spill_events == 0 &&
-      pool_queue_spans == 0 && local_agg_engine.empty()) {
+      pool_queue_spans == 0 && local_agg_engine.empty() && dfs_reads == 0 &&
+      dfs_writes == 0 && dfs_scrubs == 0 && dfs_io_retries == 0 &&
+      dfs_failovers == 0 && dfs_repairs == 0 && ckpt_degraded_events == 0) {
     return std::string();
   }
   std::string out = "run report: " +
@@ -71,6 +73,20 @@ std::string RunReport::Summary() const {
            " morsel=" + std::to_string(localagg_blocks_morsel) +
            " radix=" + std::to_string(localagg_blocks_radix) +
            " block(s) (dominant " + local_agg_engine + ")";
+  }
+  if (dfs_reads > 0 || dfs_writes > 0 || dfs_scrubs > 0 ||
+      dfs_io_retries > 0 || dfs_failovers > 0 || dfs_repairs > 0 ||
+      ckpt_degraded_events > 0) {
+    out += "\n  storage: " + std::to_string(dfs_reads) + " read(s), " +
+           std::to_string(dfs_writes) + " write(s), " +
+           std::to_string(dfs_scrubs) + " scrub(s), " +
+           std::to_string(dfs_io_retries) + " io-retry(s), " +
+           std::to_string(dfs_failovers) + " failover(s), " +
+           std::to_string(dfs_repairs) + " repair(s)";
+    if (ckpt_degraded_events > 0) {
+      out += ", " + std::to_string(ckpt_degraded_events) +
+             " degraded-checkpoint event(s)";
+    }
   }
   return out;
 }
@@ -138,6 +154,24 @@ RunReport BuildRunReport(const std::vector<TraceEvent>& events) {
       } else if (ev.name == "radix") {
         ++report.localagg_blocks_radix;
       }
+    } else if (std::strcmp(ev.category, "dfs") == 0) {
+      if (ev.name == "dfs-read") {
+        ++report.dfs_reads;
+      } else if (ev.name == "dfs-write") {
+        ++report.dfs_writes;
+      } else if (ev.name == "dfs-scrub") {
+        ++report.dfs_scrubs;
+      } else if (ev.name == "dfs-retry") {
+        ++report.dfs_io_retries;
+      } else if (ev.name == "dfs-failover") {
+        ++report.dfs_failovers;
+      } else if (ev.name == "dfs-repair") {
+        ++report.dfs_repairs;
+      }
+    } else if (std::strcmp(ev.category, "ckpt") == 0 && ev.instant &&
+               (ev.name == "ckpt-degraded" ||
+                ev.name.rfind("ckpt-skipped", 0) == 0)) {
+      ++report.ckpt_degraded_events;
     }
   }
   if (report.localagg_blocks_sortscan > 0 ||

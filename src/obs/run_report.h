@@ -53,6 +53,16 @@ struct RunReport {
   /// "radix"; ties break in that order). Empty without localagg spans.
   std::string local_agg_engine;
 
+  /// Storage health: "dfs" category activity (dfs/volume.h) and
+  /// checkpoint degradation instants ("ckpt-degraded"/"ckpt-skipped").
+  int64_t dfs_reads = 0;           // "dfs-read" spans
+  int64_t dfs_writes = 0;          // "dfs-write" spans
+  int64_t dfs_scrubs = 0;          // "dfs-scrub" spans
+  int64_t dfs_io_retries = 0;      // "dfs-retry" instants
+  int64_t dfs_failovers = 0;       // "dfs-failover" instants
+  int64_t dfs_repairs = 0;         // "dfs-repair" instants
+  int64_t ckpt_degraded_events = 0;  // breaker opened / commit skipped
+
   /// The histogram for `phase` ("map" / "reduce"), or null when the trace
   /// held no attempts of that phase.
   const PhaseAttemptHistogram* FindPhase(const std::string& phase) const;

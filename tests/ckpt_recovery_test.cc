@@ -10,15 +10,18 @@
 // attempt histograms.
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "ckpt/checkpoint.h"
+#include "common/fault.h"
 #include "core/key_derivation.h"
 #include "core/multijob_evaluator.h"
 #include "core/parallel_evaluator.h"
@@ -422,6 +425,132 @@ TEST(CkptRecoveryTest, DisabledByDefaultLeavesNoTrace) {
   EXPECT_EQ(result->jobs_restored, 0);
   EXPECT_EQ(result->total_metrics.checkpoint_bytes_written, 0);
   EXPECT_EQ(result->total_metrics.checkpoint_bytes_restored, 0);
+}
+
+// -------------------------------------------------------------- breaker
+
+TEST(CheckpointBreakerTest, OpensAfterThresholdAndProbesHalfOpen) {
+  CheckpointBreaker breaker(/*failure_threshold=*/2, /*probe_seconds=*/0.05);
+  EXPECT_TRUE(breaker.ShouldAttempt());
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.ShouldAttempt());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.open());  // threshold reached
+  EXPECT_TRUE(breaker.degraded());
+
+  // While open and before the probe interval: commits are skipped.
+  EXPECT_FALSE(breaker.ShouldAttempt());
+  EXPECT_EQ(breaker.commits_skipped(), 1);
+
+  // After the interval, one half-open probe goes through; success closes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_TRUE(breaker.ShouldAttempt());
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.ShouldAttempt());
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.commits_failed(), 2);
+}
+
+TEST(CheckpointBreakerTest, SuccessBeforeThresholdResetsTheCount) {
+  CheckpointBreaker breaker(/*failure_threshold=*/3, /*probe_seconds=*/60);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());  // never 3 consecutive
+  EXPECT_TRUE(breaker.degraded());
+}
+
+TEST(CkptRecoveryTest, FailingCheckpointStoreDegradesNeverFailsTheQuery) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ3);  // five measures
+  Table table = PaperUniformTable(1200, 71);
+  const std::string dir = TestDir("breaker");
+
+  Result<MultiJobResult> clean = EvaluateMultiJob(wf, table, EvalOpts());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Every DFS replica write fails: all commits fail, the breaker opens
+  // after two, and the rest are skipped — but the query completes with
+  // bit-identical results.
+  FaultPlan dead_store(3);
+  FaultPlan::IoError spec;
+  spec.op = "write";
+  spec.probability = 1.0;
+  dead_store.Add(spec);
+
+  ParallelEvalOptions opts = EvalOpts(dir);
+  opts.fault_plan = &dead_store;
+  opts.checkpoint.breaker_failure_threshold = 2;
+  opts.checkpoint.breaker_probe_seconds = 60;  // no probe within the test
+  opts.checkpoint.volume.io_retry_backoff_initial_ms = 0;
+  Result<MultiJobResult> degraded = EvaluateMultiJob(wf, table, opts);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->total_metrics.checkpoint_degraded);
+  EXPECT_EQ(degraded->total_metrics.checkpoint_commit_failures, 2);
+  EXPECT_EQ(degraded->total_metrics.checkpoint_commits_skipped,
+            wf.num_measures() - 2);
+  EXPECT_EQ(degraded->total_metrics.checkpoint_bytes_written, 0);
+  EXPECT_GT(degraded->total_metrics.dfs_io_retries, 0);
+  Status match = CompareResultSets(clean->results, degraded->results, 0.0);
+  EXPECT_TRUE(match.ok()) << match.ToString();
+
+  // Nothing durable was promised: a re-run restores nothing.
+  ParallelEvalOptions retry = EvalOpts(dir);
+  Result<MultiJobResult> rerun = EvaluateMultiJob(wf, table, retry);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_EQ(rerun->jobs_restored, 0);
+}
+
+TEST(CkptRecoveryTest, RestoreFailuresAreCountedNotFatal) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ3);
+  Table table = PaperUniformTable(1200, 81);
+  const std::string dir = TestDir("restorecount");
+
+  ASSERT_TRUE(EvaluateMultiJob(wf, table, EvalOpts(dir)).ok());
+  Result<CheckpointLog> log = CheckpointLog::Open(
+      EvalOpts(dir).checkpoint, FingerprintQuery(wf, table));
+  ASSERT_TRUE(log.ok());
+  CorruptAllReplicas(dir, log->JobEntryName(1));
+
+  Result<MultiJobResult> resumed = EvaluateMultiJob(wf, table, EvalOpts(dir));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->total_metrics.checkpoint_restore_failures, 1);
+  EXPECT_EQ(resumed->jobs, 1);                      // recomputed job 1
+  EXPECT_GT(resumed->total_metrics.dfs_corrupt_replicas, 0);
+  // The recomputed job was re-committed, so the run is not degraded.
+  EXPECT_FALSE(resumed->total_metrics.checkpoint_degraded);
+}
+
+TEST(CkptRecoveryTest, SinglePassCommitFailureDegradesNotFails) {
+  Workflow wf = MakePaperQuery(PaperQuery::kQ2);
+  Table table = PaperUniformTable(800, 91);
+  const std::string dir = TestDir("singlepassdegraded");
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+
+  Result<ParallelEvalResult> clean =
+      EvaluateParallel(wf, table, plan, EvalOpts());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  FaultPlan dead_store(5);
+  FaultPlan::IoError spec;
+  spec.op = "write";
+  spec.probability = 1.0;
+  dead_store.Add(spec);
+  ParallelEvalOptions opts = EvalOpts(dir);
+  opts.fault_plan = &dead_store;
+  opts.checkpoint.volume.io_retry_backoff_initial_ms = 0;
+  Result<ParallelEvalResult> degraded =
+      EvaluateParallel(wf, table, plan, opts);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->metrics.checkpoint_degraded);
+  EXPECT_EQ(degraded->metrics.checkpoint_commit_failures, 1);
+  EXPECT_EQ(degraded->metrics.checkpoint_bytes_written, 0);
+  Status match = CompareResultSets(clean->results, degraded->results, 0.0);
+  EXPECT_TRUE(match.ok()) << match.ToString();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // sequential Run() calls.
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -215,6 +216,132 @@ TEST(FaultToleranceTest, RejectsZeroAttemptBudget) {
   job.spec.max_task_attempts = 0;
   EXPECT_EQ(MapReduceEngine(1).Run(job.spec, 10).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(FaultToleranceTest, FaultPlanCrashSpecMatchesLegacyInjectorBehavior) {
+  CountJob clean;
+  ASSERT_TRUE(MapReduceEngine(2).Run(clean.spec, 1300).ok());
+
+  // The same faults as InjectedMapAndReduceFaultsRetryToIdenticalResults,
+  // but routed through a composed FaultPlan instead of the legacy hook.
+  FaultPlan plan(1);
+  FaultPlan::TaskCrash map_crash;
+  map_crash.phase = "map";
+  map_crash.task = 1;
+  map_crash.attempt = 1;
+  plan.Add(map_crash);
+  FaultPlan::TaskCrash reduce_crash;
+  reduce_crash.phase = "reduce";
+  reduce_crash.task = 0;
+  reduce_crash.attempt = 1;
+  plan.Add(reduce_crash);
+
+  CountJob faulty;
+  faulty.spec.fault_plan = &plan;
+  Result<MapReduceMetrics> metrics = MapReduceEngine(2).Run(faulty.spec, 1300);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->task_failures, 2);
+  EXPECT_EQ(metrics->task_retries, 2);
+  EXPECT_EQ(faulty.sums, clean.sums);
+  EXPECT_EQ(plan.faults_injected(), 2);
+}
+
+TEST(FaultToleranceTest, LegacyInjectorAndFaultPlanCompose) {
+  // A legacy fault_injector and a spec.fault_plan may both be set: the
+  // adapter chains the hook in front of the plan and both fire.
+  FaultPlan plan(1);
+  FaultPlan::TaskCrash crash;
+  crash.phase = "reduce";
+  crash.task = 2;
+  crash.attempt = 1;
+  plan.Add(crash);
+
+  CountJob job;
+  job.spec.fault_plan = &plan;
+  job.spec.fault_injector = [](MapReduceTaskPhase phase, int task,
+                               int attempt) {
+    if (phase == MapReduceTaskPhase::kMap && task == 0 && attempt == 1) {
+      return Status::Internal("legacy injected fault");
+    }
+    return Status::OK();
+  };
+  Result<MapReduceMetrics> metrics = MapReduceEngine(2).Run(job.spec, 1300);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->task_failures, 2);  // one from each source
+  EXPECT_EQ(metrics->task_retries, 2);
+}
+
+TEST(FaultToleranceTest, FaultPlanThrottleSlowsButDoesNotChangeResults) {
+  CountJob clean(2, 2);
+  ASSERT_TRUE(MapReduceEngine(2).Run(clean.spec, 400).ok());
+
+  FaultPlan plan(1);
+  FaultPlan::RecordThrottle throttle;
+  throttle.phase = "map";
+  throttle.seconds_per_record = 1e-6;
+  plan.Add(throttle);
+  CountJob throttled(2, 2);
+  throttled.spec.fault_plan = &plan;
+  Result<MapReduceMetrics> metrics =
+      MapReduceEngine(2).Run(throttled.spec, 400);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(throttled.sums, clean.sums);
+}
+
+TEST(FaultToleranceTest, RetryBackoffSpacesAttemptsApart) {
+  // Task 1 fails twice; with backoff on, attempt 2 starts >= initial/2
+  // after attempt 1 (equal jitter: [base/2, base]) and attempt 3 another
+  // >= initial after attempt 2 (the base doubles per retry).
+  CountJob job(2, 2);
+  job.spec.max_task_attempts = 3;
+  job.spec.retry_backoff_initial_ms = 60;
+  job.spec.retry_backoff_max_ms = 240;
+  std::mutex mu;
+  std::vector<double> attempt_starts;  // steady-clock seconds, task 1 only
+  job.spec.fault_injector = [&](MapReduceTaskPhase phase, int task,
+                                int attempt) {
+    if (phase != MapReduceTaskPhase::kMap || task != 1) return Status::OK();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      attempt_starts.push_back(
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
+    return attempt <= 2 ? Status::Internal("flaky") : Status::OK();
+  };
+  Result<MapReduceMetrics> metrics = MapReduceEngine(2).Run(job.spec, 400);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  ASSERT_EQ(attempt_starts.size(), 3u);
+  const double gap1 = attempt_starts[1] - attempt_starts[0];
+  const double gap2 = attempt_starts[2] - attempt_starts[1];
+  EXPECT_GE(gap1, 0.030);  // >= initial/2 (jitter floor)
+  EXPECT_GE(gap2, 0.060);  // >= doubled base / 2
+  EXPECT_EQ(metrics->task_retries, 2);
+}
+
+TEST(FaultToleranceTest, ZeroBackoffRetriesImmediately) {
+  // The default (0) keeps the historical replay-immediately behavior:
+  // two retries finish far faster than any backoff schedule would allow.
+  CountJob job(2, 2);
+  job.spec.max_task_attempts = 3;
+  std::mutex mu;
+  std::vector<double> attempt_starts;
+  job.spec.fault_injector = [&](MapReduceTaskPhase phase, int task,
+                                int attempt) {
+    if (phase != MapReduceTaskPhase::kMap || task != 0) return Status::OK();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      attempt_starts.push_back(
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
+    return attempt <= 2 ? Status::Internal("flaky") : Status::OK();
+  };
+  ASSERT_TRUE(MapReduceEngine(2).Run(job.spec, 400).ok());
+  ASSERT_EQ(attempt_starts.size(), 3u);
+  EXPECT_LT(attempt_starts[2] - attempt_starts[0], 0.030);
 }
 
 }  // namespace
