@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "agg/local_aggregator.h"
 #include "core/cost_model.h"
 #include "core/key_derivation.h"
 #include "core/keygen.h"
 #include "data/generator.h"
+#include "data/record_batch.h"
 #include "local/sortscan_evaluator.h"
 #include "mr/engine.h"
 #include "queries/paper_data.h"
@@ -144,6 +147,11 @@ BENCHMARK(BM_SortScanEvaluate)->Arg(1000)->Arg(10000);
 // sort/scan baseline and the adaptive chooser must track them. (At
 // near-unique cardinality the balance flips back to sort/scan; that end
 // of the ladder is bench/fig_localagg's fine rung.)
+// The third argument selects the group-by inner loop: -1 forces the
+// legacy row-at-a-time path (one RegionOfRecord heap allocation per row
+// per measure), 0 the columnar batch path (one transpose + one mapping
+// pass per (attribute, level) per batch). Same results either way — the
+// pair measures what batching buys.
 void BM_LocalAggEvaluate(benchmark::State& state) {
   SchemaPtr schema = PaperSchema();
   WorkflowBuilder b(schema);
@@ -156,6 +164,7 @@ void BM_LocalAggEvaluate(benchmark::State& state) {
   Table table = PaperUniformTable(state.range(1), 3);
   LocalAggOptions options;
   options.engine = static_cast<LocalAggEngine>(state.range(0));
+  options.batch_rows = state.range(2);
   std::unique_ptr<LocalAggregator> agg =
       MakeLocalAggregator(&wf, nullptr, options);
   LocalAggContext ctx;
@@ -166,18 +175,101 @@ void BM_LocalAggEvaluate(benchmark::State& state) {
     benchmark::DoNotOptimize(agg->Evaluate(ctx, &stats));
   }
   state.SetItemsProcessed(state.iterations() * table.num_rows());
-  state.SetLabel(LocalAggEngineName(options.engine));
+  state.SetLabel(std::string(LocalAggEngineName(options.engine)) +
+                 (options.batch_rows < 0 ? "/row" : "/columnar"));
 }
 BENCHMARK(BM_LocalAggEvaluate)
     ->Unit(benchmark::kMillisecond)
-    ->Args({static_cast<int>(LocalAggEngine::kSortScan), 20000})
-    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 20000})
-    ->Args({static_cast<int>(LocalAggEngine::kRadix), 20000})
-    ->Args({static_cast<int>(LocalAggEngine::kAdaptive), 20000})
-    ->Args({static_cast<int>(LocalAggEngine::kSortScan), 120000})
-    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 120000})
-    ->Args({static_cast<int>(LocalAggEngine::kRadix), 120000})
-    ->Args({static_cast<int>(LocalAggEngine::kAdaptive), 120000});
+    ->Args({static_cast<int>(LocalAggEngine::kSortScan), 20000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 20000, -1})
+    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 20000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kRadix), 20000, -1})
+    ->Args({static_cast<int>(LocalAggEngine::kRadix), 20000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kAdaptive), 20000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kSortScan), 120000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 120000, -1})
+    ->Args({static_cast<int>(LocalAggEngine::kMorsel), 120000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kRadix), 120000, -1})
+    ->Args({static_cast<int>(LocalAggEngine::kRadix), 120000, 0})
+    ->Args({static_cast<int>(LocalAggEngine::kAdaptive), 120000, -1})
+    ->Args({static_cast<int>(LocalAggEngine::kAdaptive), 120000, 0});
+
+// The map task's scan kernel, row against columnar: map every attribute
+// of each record to its key level. The row path calls MapFromFinest per
+// (row, attribute); the columnar path scans the table as RecordBatches
+// and maps whole columns with MapFromFinestColumn (level checks hoisted
+// out of the loop). Outputs are bit-identical; arg 0 selects the path
+// (0 = row, 1 = columnar), arg 1 the row count.
+void BM_ScanKeyLevelMap(benchmark::State& state) {
+  SchemaPtr schema = PaperSchema();
+  Table table = PaperUniformTable(state.range(1), 6);
+  Workflow wf = MakePaperQuery(PaperQuery::kQ6);
+  ExecutionPlan plan;
+  plan.key = DeriveDistributionKeys(wf).query_key;
+  std::vector<KeyGenAttr> keygen = BuildKeyGen(*schema, plan);
+  const int num_attrs = schema->num_attributes();
+  const int64_t n = table.num_rows();
+  if (state.range(0) == 0) {
+    std::vector<int64_t> g(static_cast<size_t>(num_attrs));
+    for (auto _ : state) {
+      for (int64_t r = 0; r < n; ++r) {
+        const int64_t* row = table.row(r);
+        for (int a = 0; a < num_attrs; ++a) {
+          g[static_cast<size_t>(a)] = schema->attribute(a).MapFromFinest(
+              row[a], keygen[static_cast<size_t>(a)].level);
+        }
+        benchmark::DoNotOptimize(g.data());
+      }
+    }
+    state.SetLabel("row");
+  } else {
+    const int64_t cap = kDefaultBatchRows;
+    RecordBatch batch(table.row_width(), cap);
+    std::vector<std::vector<int64_t>> g_cols(static_cast<size_t>(num_attrs));
+    for (auto& col : g_cols) col.resize(static_cast<size_t>(cap));
+    for (auto _ : state) {
+      TableScan scan = table.Scan(cap);
+      while (scan.Next(&batch)) {
+        const int64_t bn = batch.num_rows();
+        for (int a = 0; a < num_attrs; ++a) {
+          schema->attribute(a).MapFromFinestColumn(
+              batch.column(a), bn, keygen[static_cast<size_t>(a)].level,
+              g_cols[static_cast<size_t>(a)].data());
+        }
+        benchmark::DoNotOptimize(g_cols.data());
+      }
+    }
+    state.SetLabel("columnar");
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanKeyLevelMap)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 120000})
+    ->Args({1, 120000});
+
+// Partition-hash kernel pair: per-key PartitionHash against the
+// column-vectorized PartitionHashColumns over a whole batch of keys.
+void BM_PartitionHashColumns(benchmark::State& state) {
+  const int64_t n = 4096;
+  const int width = 6;
+  std::vector<std::vector<int64_t>> cols(width);
+  std::vector<const int64_t*> col_ptrs(width);
+  for (int c = 0; c < width; ++c) {
+    cols[static_cast<size_t>(c)].resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      cols[static_cast<size_t>(c)][static_cast<size_t>(i)] = c * 977 + i;
+    }
+    col_ptrs[static_cast<size_t>(c)] = cols[static_cast<size_t>(c)].data();
+  }
+  std::vector<uint64_t> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    PartitionHashColumns(col_ptrs.data(), width, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionHashColumns);
 
 void BM_ParseWorkflow(benchmark::State& state) {
   SchemaPtr schema = WeblogSchema();

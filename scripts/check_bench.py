@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+# Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+"""Perf-regression gate: compare fresh bench JSON against committed baselines.
+
+Usage:
+    scripts/check_bench.py --baselines bench/baselines --fresh <dir> \
+        [--threshold 0.25]
+
+For every ``<name>.json`` under --baselines the same file must exist under
+--fresh, and every throughput number the baseline carries must be within
+``threshold`` (default 25%) of the baseline value or better. Two formats
+are understood, keyed by the file's top-level shape:
+
+* google-benchmark output (``{"benchmarks": [...]}``): entries are matched
+  by ``name``; the compared metric is ``items_per_second``.
+* CASM figure JSON (``{"rows": [...]}``, written by MaybeWriteJson):
+  rows are matched by ``label``; every baseline field whose name ends in
+  ``_throughput_rows_per_sec`` is compared.
+
+Baselines are deliberately conservative floors (well below the throughput
+observed on a warm dev machine), so the gate trips on large, real
+regressions — a batch path silently falling back to rows, an accidental
+debug build — not on shared-runner noise. A benchmark present in the
+baseline but missing from the fresh output fails the gate too: renaming or
+deleting a gated benchmark must come with a baseline update.
+
+Exit status: 0 = within budget, 1 = regression or coverage gap.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+UPDATE_INSTRUCTIONS = """\
+If this slowdown is expected (new workload, intentional trade-off), refresh
+the baseline and commit it alongside the change:
+
+    cmake --build build -j --target micro_core fig4a_scaleup
+    ./build/bench/micro_core --benchmark_out=/tmp/micro_core.json \\
+        --benchmark_out_format=json --benchmark_min_time=0.1
+    CASM_BENCH_SCALE=0.05 CASM_BENCH_JSON=/tmp ./build/bench/fig4a_scaleup
+    python3 scripts/check_bench.py --reseed /tmp \\
+        --baselines bench/baselines   # rewrites floors at 0.35x observed
+
+then commit bench/baselines/*.json with a note in the PR explaining the
+regression. Do NOT loosen --threshold instead.
+"""
+
+# Reseeded floors sit at this fraction of the observed throughput, so the
+# gate (floor * (1 - threshold)) only trips on multi-x regressions even on
+# CI runners several times slower than the machine that seeded them.
+RESEED_FRACTION = 0.35
+
+
+def iter_baseline_metrics(doc):
+    """Yields (entry_key, metric_name, value) for every gated number."""
+    if "benchmarks" in doc:
+        for bench in doc["benchmarks"]:
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            if "items_per_second" in bench:
+                yield bench["name"], "items_per_second", bench["items_per_second"]
+    elif "rows" in doc:
+        for row in doc["rows"]:
+            for field, value in row.items():
+                if field.endswith("_throughput_rows_per_sec"):
+                    yield row["label"], field, value
+
+
+def index_fresh_metrics(doc):
+    metrics = {}
+    for key, field, value in iter_baseline_metrics(doc):
+        metrics[(key, field)] = value
+    return metrics
+
+
+def check(baseline_dir, fresh_dir, threshold):
+    failures = []
+    compared = 0
+    baseline_files = sorted(baseline_dir.glob("*.json"))
+    if not baseline_files:
+        failures.append(f"no baselines found under {baseline_dir}")
+    for path in baseline_files:
+        fresh_path = fresh_dir / path.name
+        if not fresh_path.exists():
+            failures.append(f"{path.name}: fresh run produced no {fresh_path}")
+            continue
+        baseline = json.loads(path.read_text())
+        fresh = index_fresh_metrics(json.loads(fresh_path.read_text()))
+        for key, field, floor in iter_baseline_metrics(baseline):
+            got = fresh.get((key, field))
+            if got is None:
+                failures.append(
+                    f"{path.name}: '{key}' [{field}] is in the baseline but "
+                    "missing from the fresh run (renamed or deleted?)")
+                continue
+            compared += 1
+            limit = floor * (1.0 - threshold)
+            verdict = "ok" if got >= limit else "REGRESSION"
+            print(f"{verdict:>10}  {path.name}:{key} [{field}] "
+                  f"{got:,.0f}/s vs floor {floor:,.0f}/s "
+                  f"(limit {limit:,.0f}/s)")
+            if got < limit:
+                failures.append(
+                    f"{path.name}: '{key}' [{field}] {got:,.0f}/s is more "
+                    f"than {threshold:.0%} below the baseline floor "
+                    f"{floor:,.0f}/s")
+    if compared == 0 and not failures:
+        failures.append("baselines contained no throughput metrics")
+    return failures
+
+
+def reseed(fresh_dir, baseline_dir):
+    """Rewrites every existing baseline from fresh output, floored at
+    RESEED_FRACTION of the observed throughput."""
+    for path in sorted(baseline_dir.glob("*.json")):
+        fresh_path = fresh_dir / path.name
+        if not fresh_path.exists():
+            print(f"skip {path.name}: no fresh {fresh_path}", file=sys.stderr)
+            continue
+        fresh_doc = json.loads(fresh_path.read_text())
+        if "benchmarks" in fresh_doc:
+            out = {"_comment": _floor_comment(), "benchmarks": []}
+            for key, field, value in iter_baseline_metrics(fresh_doc):
+                out["benchmarks"].append(
+                    {"name": key, field: round(value * RESEED_FRACTION)})
+        else:
+            rows = {}
+            for key, field, value in iter_baseline_metrics(fresh_doc):
+                rows.setdefault(key, {"label": key})[field] = round(
+                    value * RESEED_FRACTION)
+            out = {"_comment": _floor_comment(), "rows": list(rows.values())}
+        path.write_text(json.dumps(out, indent=2) + "\n")
+        print(f"reseeded {path}")
+
+
+def _floor_comment():
+    return (f"Conservative throughput floors: {RESEED_FRACTION:.0%} of a "
+            "measured run, checked by scripts/check_bench.py with a further "
+            "25% allowance. Reseed with: scripts/check_bench.py --reseed "
+            "<fresh-json-dir> --baselines bench/baselines")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", type=pathlib.Path,
+                        default=pathlib.Path("bench/baselines"))
+    parser.add_argument("--fresh", type=pathlib.Path,
+                        help="directory holding freshly produced bench JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional drop below the baseline")
+    parser.add_argument("--reseed", type=pathlib.Path, metavar="FRESH_DIR",
+                        help="rewrite the baselines from this fresh output "
+                             "instead of checking")
+    args = parser.parse_args()
+
+    if args.reseed:
+        reseed(args.reseed, args.baselines)
+        return 0
+    if not args.fresh:
+        parser.error("--fresh is required (or use --reseed)")
+    failures = check(args.baselines, args.fresh, args.threshold)
+    if failures:
+        print("\nPerf-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(f"\n{UPDATE_INSTRUCTIONS}", file=sys.stderr)
+        return 1
+    print("\nPerf-regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "agg/batch.h"
 #include "agg/engines.h"
 
 namespace casm {
@@ -61,11 +62,42 @@ LocalAggEngine AdaptiveAggregator::Choose(const LocalAggContext& ctx,
   std::unordered_map<uint64_t, int64_t> freq;
   freq.reserve(static_cast<size_t>(sample) * 2);
   int64_t max_freq = 0;
-  for (int64_t r = 0; r < sample; ++r) {
-    const uint64_t h = FinestRegionHash(schema, sortscan_->attr_order(),
-                                        sortscan_->sort_levels(),
-                                        ctx.rows + r * width);
-    max_freq = std::max(max_freq, ++freq[h]);
+  const int64_t batch_cap = ctx.n < options_.batch_min_block_rows
+                                ? 0
+                                : ResolveBatchRows(options_.batch_rows);
+  if (batch_cap > 0) {
+    // Columnar sample: hash the first batch(es) with one transpose + one
+    // MapFromFinestColumn per sort attribute. Same rows, bit-identical
+    // hashes — the decision matches the row path exactly.
+    const std::vector<int>& attr_order = sortscan_->attr_order();
+    const std::vector<LevelId>& sort_levels = sortscan_->sort_levels();
+    const int64_t cap = std::min(batch_cap, sample);
+    RegionBatchMapper mapper(&schema, cap);
+    std::vector<const int64_t*> sort_cols(attr_order.size());
+    std::vector<uint64_t> hashes(static_cast<size_t>(cap));
+    for (int64_t bb = 0; bb < sample; bb += cap) {
+      const int64_t bn = std::min(cap, sample - bb);
+      mapper.Load(ctx.rows + bb * width, bn);
+      if (stats != nullptr) ++stats->agg_batches;
+      for (size_t j = 0; j < attr_order.size(); ++j) {
+        const int attr = attr_order[j];
+        sort_cols[j] = mapper.MappedColumn(
+            attr, sort_levels[static_cast<size_t>(attr)]);
+      }
+      FinestRegionHashColumns(sort_cols.data(),
+                              static_cast<int>(attr_order.size()), bn,
+                              hashes.data());
+      for (int64_t i = 0; i < bn; ++i) {
+        max_freq = std::max(max_freq, ++freq[hashes[static_cast<size_t>(i)]]);
+      }
+    }
+  } else {
+    for (int64_t r = 0; r < sample; ++r) {
+      const uint64_t h = FinestRegionHash(schema, sortscan_->attr_order(),
+                                          sortscan_->sort_levels(),
+                                          ctx.rows + r * width);
+      max_freq = std::max(max_freq, ++freq[h]);
+    }
   }
   if (stats != nullptr) stats->agg_sampled_rows += sample;
 

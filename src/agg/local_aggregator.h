@@ -76,6 +76,20 @@ struct LocalAggOptions {
   /// Engine evaluating every block. kAdaptive chooses per block.
   LocalAggEngine engine = LocalAggEngineFromEnv();
 
+  /// Rows per columnar batch in the hash engines' batch-at-a-time paths
+  /// (coordinate mapping and region hashing run vectorized over batch
+  /// columns — see agg/batch.h). 0 picks BatchSizeFromEnv() (the
+  /// CASM_BATCH_SIZE knob); negative forces the legacy row-at-a-time path
+  /// (differential tests, before/after benchmarks). Results are identical
+  /// either way.
+  int64_t batch_rows = 0;
+  /// Blocks with fewer rows than this keep the row-at-a-time path even
+  /// when batch_rows enables batching: the batch path's fixed setup (the
+  /// column transpose buffers) costs more than a tiny block's rows.
+  /// 0 batches every block (differential tests). Results are identical
+  /// either way.
+  int64_t batch_min_block_rows = 64;
+
   // ---- Morsel engine.
   /// Rows per morsel (the unit of work distribution and cancellation
   /// polling).

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "agg/batch.h"
 #include "agg/engines.h"
 #include "common/thread_pool.h"
 
@@ -64,8 +65,24 @@ MeasureResultSet MorselAggregator::DoEvaluate(const LocalAggContext& ctx,
 
   // Phase 1: thread-local pre-aggregation, spilling full tables into the
   // shard's partition buckets (appended, merged in phase 2).
+  //
+  // Batch path (batch_cap > 0): each morsel is processed as columnar
+  // sub-batches — one transpose plus one MapFromFinestColumn pass per
+  // (attribute, level) replaces a heap-allocating RegionOfRecord per row
+  // per measure; the per-row work shrinks to a scratch-Coords gather and
+  // the hash probe. Row and batch paths visit rows and measures in the
+  // same order, so their results are bit-identical.
+  // Capacity is clamped to the block size (reducer blocks are often far
+  // smaller than the configured batch), and blocks under the
+  // batch_min_block_rows cutoff skip batching entirely: the mapper's
+  // fixed setup would cost more than the rows themselves.
+  const int64_t batch_cap =
+      ctx.n < options_.batch_min_block_rows
+          ? 0
+          : std::min({ResolveBatchRows(options_.batch_rows), morsel, ctx.n});
   std::vector<std::vector<std::vector<SpilledGroup>>> shard_parts(
       static_cast<size_t>(shards));
+  std::vector<int64_t> shard_batches(static_cast<size_t>(shards), 0);
   auto run_shard = [&](size_t shard) {
     std::vector<std::vector<SpilledGroup>>& parts =
         shard_parts[shard];
@@ -83,23 +100,54 @@ MeasureResultSet MorselAggregator::DoEvaluate(const LocalAggContext& ctx,
       }
       local_entries = 0;
     };
+    std::unique_ptr<RegionBatchMapper> mapper;
+    std::vector<std::vector<const int64_t*>> gran_cols(num_basics);
+    Coords scratch(static_cast<size_t>(width));
+    if (batch_cap > 0) {
+      mapper = std::make_unique<RegionBatchMapper>(&schema, batch_cap);
+    }
     for (int64_t mi = static_cast<int64_t>(shard); mi < num_morsels;
          mi += shards) {
       if (ctx.cancel != nullptr && ctx.cancel->cancelled()) break;
       const int64_t begin = mi * morsel;
       const int64_t end = std::min(ctx.n, begin + morsel);
-      for (int64_t r = begin; r < end; ++r) {
-        const int64_t* row = ctx.rows + r * width;
-        for (size_t b = 0; b < num_basics; ++b) {
-          const BasicMeasure& info = basics_[b];
-          Coords coords = RegionOfRecord(schema, *info.granularity, row);
-          auto it = local[b].find(coords);
-          if (it == local[b].end()) {
-            it = local[b].emplace(std::move(coords), Accumulator(info.fn))
-                     .first;
-            ++local_entries;
+      if (batch_cap > 0) {
+        for (int64_t bb = begin; bb < end; bb += batch_cap) {
+          const int64_t bn = std::min(batch_cap, end - bb);
+          mapper->Load(ctx.rows + bb * width, bn);
+          ++shard_batches[shard];
+          for (size_t b = 0; b < num_basics; ++b) {
+            mapper->GranularityColumns(*basics_[b].granularity,
+                                       &gran_cols[b]);
           }
-          it->second.Add(static_cast<double>(row[info.field]));
+          for (int64_t i = 0; i < bn; ++i) {
+            for (size_t b = 0; b < num_basics; ++b) {
+              const BasicMeasure& info = basics_[b];
+              RegionBatchMapper::FillCoords(gran_cols[b], i, &scratch);
+              auto it = local[b].find(scratch);
+              if (it == local[b].end()) {
+                it = local[b].emplace(scratch, Accumulator(info.fn)).first;
+                ++local_entries;
+              }
+              it->second.Add(static_cast<double>(
+                  mapper->raw_column(info.field)[i]));
+            }
+          }
+        }
+      } else {
+        for (int64_t r = begin; r < end; ++r) {
+          const int64_t* row = ctx.rows + r * width;
+          for (size_t b = 0; b < num_basics; ++b) {
+            const BasicMeasure& info = basics_[b];
+            Coords coords = RegionOfRecord(schema, *info.granularity, row);
+            auto it = local[b].find(coords);
+            if (it == local[b].end()) {
+              it = local[b].emplace(std::move(coords), Accumulator(info.fn))
+                       .first;
+              ++local_entries;
+            }
+            it->second.Add(static_cast<double>(row[info.field]));
+          }
         }
       }
       if (local_entries >= static_cast<size_t>(options_.max_local_entries)) {
@@ -169,6 +217,7 @@ MeasureResultSet MorselAggregator::DoEvaluate(const LocalAggContext& ctx,
   if (stats != nullptr) {
     stats->records += ctx.n;
     stats->hashed_measures += static_cast<int64_t>(num_basics);
+    for (int64_t batches : shard_batches) stats->agg_batches += batches;
     stats->eval_seconds += SecondsSince(start);
   }
   return results;

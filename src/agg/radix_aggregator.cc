@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "agg/batch.h"
 #include "agg/engines.h"
 #include "common/thread_pool.h"
 
@@ -55,24 +56,102 @@ MeasureResultSet RadixAggregator::DoEvaluate(const LocalAggContext& ctx,
 
   // Phase 1: scatter row indices by finest-region hash. Serial: one hash
   // per row, and a deterministic within-partition row order for phase 2.
+  // Batch path: the hashes of a whole batch are computed columnar —
+  // transpose + one MapFromFinestColumn per sort attribute + one
+  // FinestRegionHashColumns pass — bit-identical to per-row hashing, so
+  // the scatter is unchanged.
+  // Clamped to the block size, with the batch_min_block_rows cutoff: a
+  // 4K-row mapper for a tiny block would cost more than the block itself.
+  const int64_t batch_cap =
+      ctx.n < options_.batch_min_block_rows
+          ? 0
+          : std::min(ResolveBatchRows(options_.batch_rows), ctx.n);
+  int64_t batches = 0;
   std::vector<std::vector<int64_t>> part_rows(partitions);
   const size_t expect = static_cast<size_t>(ctx.n) / partitions + 1;
   for (std::vector<int64_t>& rows : part_rows) rows.reserve(expect);
-  for (int64_t r = 0; r < ctx.n; ++r) {
-    if ((r & 4095) == 0 && ctx.cancel != nullptr && ctx.cancel->cancelled()) {
-      return results;
+  const std::vector<int>& attr_order = sortscan_->attr_order();
+  const std::vector<LevelId>& sort_levels = sortscan_->sort_levels();
+  if (batch_cap > 0) {
+    RegionBatchMapper mapper(&schema, batch_cap);
+    std::vector<const int64_t*> sort_cols(attr_order.size());
+    std::vector<uint64_t> hashes(static_cast<size_t>(batch_cap));
+    for (int64_t bb = 0; bb < ctx.n; bb += batch_cap) {
+      if (ctx.cancel != nullptr && ctx.cancel->cancelled()) return results;
+      const int64_t bn = std::min(batch_cap, ctx.n - bb);
+      mapper.Load(ctx.rows + bb * width, bn);
+      ++batches;
+      for (size_t j = 0; j < attr_order.size(); ++j) {
+        const int attr = attr_order[j];
+        sort_cols[j] = mapper.MappedColumn(
+            attr, sort_levels[static_cast<size_t>(attr)]);
+      }
+      FinestRegionHashColumns(sort_cols.data(),
+                              static_cast<int>(attr_order.size()), bn,
+                              hashes.data());
+      for (int64_t i = 0; i < bn; ++i) {
+        part_rows[hashes[static_cast<size_t>(i)] & mask].push_back(bb + i);
+      }
     }
-    const uint64_t h = FinestRegionHash(schema, sortscan_->attr_order(),
-                                        sortscan_->sort_levels(),
-                                        ctx.rows + r * width);
-    part_rows[h & mask].push_back(r);
+  } else {
+    for (int64_t r = 0; r < ctx.n; ++r) {
+      if ((r & 4095) == 0 && ctx.cancel != nullptr &&
+          ctx.cancel->cancelled()) {
+        return results;
+      }
+      const uint64_t h = FinestRegionHash(schema, attr_order, sort_levels,
+                                          ctx.rows + r * width);
+      part_rows[h & mask].push_back(r);
+    }
   }
 
-  // Phase 2: aggregate each partition independently.
+  // Phase 2: aggregate each partition independently. The batch path
+  // gathers the partition's (non-contiguous) rows into a row-major
+  // scratch block batch by batch, then maps coordinates columnar exactly
+  // like phase 1 — same Add order as the row path, identical results.
   std::vector<std::vector<AccMap>> part_acc(partitions);
   auto eval_partition = [&](size_t p) {
     std::vector<AccMap>& maps = part_acc[p];
     maps.resize(num_basics);
+    if (batch_cap > 0) {
+      const std::vector<int64_t>& rows = part_rows[p];
+      const int64_t count = static_cast<int64_t>(rows.size());
+      if (count == 0) return;
+      // Partition-local clamp for the same reason as above: most
+      // partitions hold far fewer rows than the configured batch.
+      const int64_t cap = std::min(batch_cap, count);
+      RegionBatchMapper mapper(&schema, cap);
+      std::vector<std::vector<const int64_t*>> gran_cols(num_basics);
+      std::vector<int64_t> gather(
+          static_cast<size_t>(cap) * static_cast<size_t>(width));
+      Coords scratch(static_cast<size_t>(width));
+      for (int64_t bb = 0; bb < count; bb += cap) {
+        const int64_t bn = std::min(cap, count - bb);
+        for (int64_t i = 0; i < bn; ++i) {
+          const int64_t* row =
+              ctx.rows + rows[static_cast<size_t>(bb + i)] * width;
+          std::copy(row, row + width,
+                    gather.data() + static_cast<size_t>(i) * width);
+        }
+        mapper.Load(gather.data(), bn);
+        for (size_t b = 0; b < num_basics; ++b) {
+          mapper.GranularityColumns(*basics_[b].granularity, &gran_cols[b]);
+        }
+        for (int64_t i = 0; i < bn; ++i) {
+          for (size_t b = 0; b < num_basics; ++b) {
+            const BasicMeasure& info = basics_[b];
+            RegionBatchMapper::FillCoords(gran_cols[b], i, &scratch);
+            auto it = maps[b].find(scratch);
+            if (it == maps[b].end()) {
+              it = maps[b].emplace(scratch, Accumulator(info.fn)).first;
+            }
+            it->second.Add(static_cast<double>(
+                mapper.raw_column(info.field)[i]));
+          }
+        }
+      }
+      return;
+    }
     for (int64_t r : part_rows[p]) {
       const int64_t* row = ctx.rows + r * width;
       for (size_t b = 0; b < num_basics; ++b) {
@@ -119,6 +198,7 @@ MeasureResultSet RadixAggregator::DoEvaluate(const LocalAggContext& ctx,
   if (stats != nullptr) {
     stats->records += ctx.n;
     stats->hashed_measures += static_cast<int64_t>(num_basics);
+    stats->agg_batches += batches;
     stats->eval_seconds += SecondsSince(start);
   }
   return results;

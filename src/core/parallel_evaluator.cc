@@ -10,12 +10,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "agg/batch.h"
 #include "agg/combiner.h"
 #include "agg/local_aggregator.h"
 #include "common/logging.h"
 #include "common/math.h"
 #include "core/coverage.h"
 #include "core/keygen.h"
+#include "data/record_batch.h"
 #include "local/derivation.h"
 #include "mr/engine.h"
 #include "obs/trace.h"
@@ -223,12 +225,70 @@ Result<ParallelEvalResult> EvaluateParallel(
     };
   }
 
+  // Map-side batch size: > 0 routes the map loops below through columnar
+  // RecordBatch slices of the split with one vectorized key-level mapping
+  // pass per attribute; 0 keeps the row-at-a-time loops. Both paths emit
+  // bit-identical shuffle output (keygen.h / mr/engine.h contracts).
+  const int64_t map_batch_rows =
+      options.columnar
+          ? agg_internal::ResolveBatchRows(options.local_agg.batch_rows)
+          : 0;
+  // With no region-inclusion annotation every record belongs to exactly
+  // one block (ForEachBlock degenerates to first == last == g), so whole
+  // batches can be emitted in one columnar call.
+  bool any_annotated = false;
+  for (const KeyGenAttr& kg : keygen) any_annotated |= kg.annotated;
+
   if (!plan.early_aggregation) {
     // ---- Raw-record redistribution.
     spec.value_width = table.row_width();
     spec.map_fn = [&](int64_t begin, int64_t end, Emitter* emitter) {
       std::vector<int64_t> g(static_cast<size_t>(num_attrs));
       std::vector<int64_t> key(static_cast<size_t>(num_attrs));
+      if (map_batch_rows > 0) {
+        RecordBatch batch(table.row_width(), map_batch_rows);
+        std::vector<std::vector<int64_t>> g_cols(
+            static_cast<size_t>(num_attrs));
+        std::vector<const int64_t*> g_ptrs(static_cast<size_t>(num_attrs));
+        for (int a = 0; a < num_attrs; ++a) {
+          g_cols[static_cast<size_t>(a)].resize(
+              static_cast<size_t>(map_batch_rows));
+          g_ptrs[static_cast<size_t>(a)] =
+              g_cols[static_cast<size_t>(a)].data();
+        }
+        TableScan scan = table.Scan(map_batch_rows, begin, end);
+        int64_t rb = begin;
+        while (scan.Next(&batch)) {
+          // Cooperative cancellation (deadline, lost speculation race):
+          // the engine discards a cancelled attempt's output, so
+          // returning with a partially-emitted split is safe.
+          if (emitter->cancelled()) return;
+          const int64_t bn = batch.num_rows();
+          for (int a = 0; a < num_attrs; ++a) {
+            schema.attribute(a).MapFromFinestColumn(
+                batch.column(a), bn, keygen[static_cast<size_t>(a)].level,
+                g_cols[static_cast<size_t>(a)].data());
+          }
+          if (!any_annotated) {
+            // One block per record: the whole batch ships through the
+            // emitter's columnar path, values taken straight from the
+            // contiguous row-major table slice.
+            emitter->EmitBatch(g_ptrs.data(), table.row(rb), bn);
+          } else {
+            for (int64_t i = 0; i < bn; ++i) {
+              for (int a = 0; a < num_attrs; ++a) {
+                g[static_cast<size_t>(a)] =
+                    g_cols[static_cast<size_t>(a)][static_cast<size_t>(i)];
+              }
+              const int64_t* row = table.row(rb + i);
+              ForEachBlock(keygen, g, &key,
+                           [&](const int64_t* k) { emitter->Emit(k, row); });
+            }
+          }
+          rb += bn;
+        }
+        return;
+      }
       for (int64_t r = begin; r < end; ++r) {
         // Cooperative cancellation (deadline, lost speculation race): the
         // engine discards a cancelled attempt's output, so returning with
@@ -289,6 +349,43 @@ Result<ParallelEvalResult> EvaluateParallel(
       EarlyAggCombiner combiner(&wf, options.local_agg, trace);
       std::vector<int64_t> g(static_cast<size_t>(num_attrs));
       std::vector<int64_t> key(static_cast<size_t>(num_attrs));
+      if (map_batch_rows > 0) {
+        // Columnar key-level mapping; the combiner itself stays per
+        // record because its bounded table, flush timing and bypass
+        // decision are order-sensitive, and batching must not change
+        // what the row path would ship.
+        RecordBatch batch(table.row_width(), map_batch_rows);
+        std::vector<std::vector<int64_t>> g_cols(
+            static_cast<size_t>(num_attrs));
+        for (int a = 0; a < num_attrs; ++a) {
+          g_cols[static_cast<size_t>(a)].resize(
+              static_cast<size_t>(map_batch_rows));
+        }
+        TableScan scan = table.Scan(map_batch_rows, begin, end);
+        int64_t rb = begin;
+        while (scan.Next(&batch)) {
+          if (emitter->cancelled()) return;
+          const int64_t bn = batch.num_rows();
+          for (int a = 0; a < num_attrs; ++a) {
+            schema.attribute(a).MapFromFinestColumn(
+                batch.column(a), bn, keygen[static_cast<size_t>(a)].level,
+                g_cols[static_cast<size_t>(a)].data());
+          }
+          for (int64_t i = 0; i < bn; ++i) {
+            for (int a = 0; a < num_attrs; ++a) {
+              g[static_cast<size_t>(a)] =
+                  g_cols[static_cast<size_t>(a)][static_cast<size_t>(i)];
+            }
+            const int64_t* row = table.row(rb + i);
+            ForEachBlock(keygen, g, &key, [&](const int64_t* k) {
+              combiner.AddRecord(k, row, emitter);
+            });
+          }
+          rb += bn;
+        }
+        combiner.Flush(emitter);
+        return;
+      }
       for (int64_t r = begin; r < end; ++r) {
         if (((r - begin) & 1023) == 0 && emitter->cancelled()) return;
         const int64_t* row = table.row(r);

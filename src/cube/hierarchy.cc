@@ -232,6 +232,52 @@ int64_t Hierarchy::MapFromFinest(int64_t value, LevelId level) const {
   return from_finest_[static_cast<size_t>(level - 1)][static_cast<size_t>(value)];
 }
 
+void Hierarchy::MapFromFinestColumn(const int64_t* values, int64_t n,
+                                    LevelId level, int64_t* out) const {
+  CASM_CHECK_GE(level, 0);
+  CASM_CHECK_LT(level, num_levels());
+  if (is_all(level)) {
+    std::fill(out, out + n, int64_t{0});
+    return;
+  }
+  if (kind_ == AttributeKind::kNumeric) {
+    if (uniform()) {
+      const int64_t unit = units_[static_cast<size_t>(level)];
+      if (unit == 1) {
+        if (out != values) std::copy(values, values + n, out);
+        return;
+      }
+      for (int64_t i = 0; i < n; ++i) out[i] = FloorDiv(values[i], unit);
+      return;
+    }
+    if (level == 0) {
+      if (out != values) std::copy(values, values + n, out);
+      return;
+    }
+    const std::vector<int64_t>& starts = starts_[static_cast<size_t>(level - 1)];
+    const int64_t* begin = starts.data();
+    const int64_t* end = begin + starts.size();
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = (std::upper_bound(begin, end, values[i]) - begin) - 1;
+    }
+    return;
+  }
+  if (level == 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      CASM_CHECK_GE(values[i], 0);
+      CASM_CHECK_LT(values[i], cardinality_);
+      out[i] = values[i];
+    }
+    return;
+  }
+  const std::vector<int64_t>& map = from_finest_[static_cast<size_t>(level - 1)];
+  for (int64_t i = 0; i < n; ++i) {
+    CASM_CHECK_GE(values[i], 0);
+    CASM_CHECK_LT(values[i], cardinality_);
+    out[i] = map[static_cast<size_t>(values[i])];
+  }
+}
+
 int64_t Hierarchy::MapUp(int64_t value, LevelId from, LevelId to) const {
   CASM_CHECK_LE(from, to);
   if (from == to) return value;

@@ -107,6 +107,13 @@ class Hierarchy {
   /// Maps a finest-level value to its value at `level`.
   int64_t MapFromFinest(int64_t value, LevelId level) const;
 
+  /// Columnar MapFromFinest: maps `n` finest-level values to `level` in one
+  /// tight loop per hierarchy kind (ALL fill, uniform divide, irregular
+  /// binary search, nominal table lookup). `out` may alias `values`.
+  /// Bit-identical to calling MapFromFinest per value.
+  void MapFromFinestColumn(const int64_t* values, int64_t n, LevelId level,
+                           int64_t* out) const;
+
   /// Maps a value at level `from` to the containing value at level `to`.
   /// Requires to >= from (mapping towards more general domains only).
   int64_t MapUp(int64_t value, LevelId from, LevelId to) const;

@@ -15,6 +15,9 @@
 
 namespace casm {
 
+class RecordBatch;
+class TableScan;
+
 /// Row-major record container. Not thread-safe for concurrent appends;
 /// concurrent reads are safe once building is done.
 class Table {
@@ -45,8 +48,22 @@ class Table {
   const std::vector<int64_t>& data() const { return data_; }
 
   /// Appends `count` uninitialized rows and returns a pointer to the first
-  /// new row's storage (for bulk generators filling rows in place).
+  /// new row's storage (for bulk generators filling rows in place). Checks
+  /// that `count` is non-negative and that the resulting size neither
+  /// overflows size_t nor exceeds the container's max_size, so a bad count
+  /// fails loudly instead of corrupting the storage the batched scan view
+  /// shares with row readers.
   int64_t* AppendUninitialized(int64_t count);
+
+  /// Appends all records of `batch` (transposed back to row-major). The
+  /// batch's column count must equal row_width().
+  void AppendBatch(const RecordBatch& batch);
+
+  /// Batched columnar view over rows [begin, end) — see data/record_batch.h.
+  /// The table must outlive the scan and must not be appended to while
+  /// scanning. `batch_rows` <= 0 picks BatchSizeFromEnv().
+  TableScan Scan(int64_t batch_rows, int64_t begin, int64_t end) const;
+  TableScan Scan(int64_t batch_rows = 0) const;
 
  private:
   SchemaPtr schema_;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "data/record_batch.h"
+
 namespace casm {
 namespace {
 
@@ -55,6 +57,9 @@ Result<Table> ReadTableCsv(SchemaPtr schema, std::string_view csv) {
   }
 
   Table table(schema);
+  // Parsed rows accumulate in a columnar RecordBatch and append to the
+  // table one batch at a time (Table::AppendBatch) instead of row by row.
+  RecordBatch batch(table.row_width(), BatchSizeFromEnv());
   std::vector<int64_t> row(static_cast<size_t>(schema->num_attributes()));
   while (std::getline(stream, line)) {
     ++line_number;
@@ -84,8 +89,13 @@ Result<Table> ReadTableCsv(SchemaPtr schema, std::string_view csv) {
       }
       row[static_cast<size_t>(a)] = value;
     }
-    table.AppendRow(row.data());
+    if (batch.num_rows() == batch.capacity()) {
+      table.AppendBatch(batch);
+      batch.Clear();
+    }
+    batch.AppendRows(row.data(), 1);
   }
+  table.AppendBatch(batch);
   return table;
 }
 

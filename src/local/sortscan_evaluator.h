@@ -47,6 +47,10 @@ struct LocalEvalStats {
   int64_t agg_blocks_radix = 0;
   /// Rows inspected by the adaptive chooser's first-morsel sample.
   int64_t agg_sampled_rows = 0;
+  /// Columnar batches processed by the hash engines' batch-at-a-time
+  /// paths (0 when the legacy row path ran — see
+  /// LocalAggOptions::batch_rows).
+  int64_t agg_batches = 0;
 
   void Accumulate(const LocalEvalStats& other) {
     records += other.records;
@@ -59,6 +63,7 @@ struct LocalEvalStats {
     agg_blocks_morsel += other.agg_blocks_morsel;
     agg_blocks_radix += other.agg_blocks_radix;
     agg_sampled_rows += other.agg_sampled_rows;
+    agg_batches += other.agg_batches;
   }
 };
 

@@ -576,6 +576,29 @@ uint64_t PartitionHash(const int64_t* key, int width) {
   return h;
 }
 
+void PartitionHashColumns(const int64_t* const* key_cols, int key_width,
+                          int64_t n, uint64_t* out) {
+  std::fill(out, out + n, uint64_t{1469598103934665603ULL});
+  for (int c = 0; c < key_width; ++c) {
+    const int64_t* col = key_cols[c];
+    for (int64_t i = 0; i < n; ++i) {
+      uint64_t h = out[i];
+      h ^= static_cast<uint64_t>(col[i]);
+      h *= 1099511628211ULL;
+      out[i] = h;
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t h = out[i];
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    out[i] = h;
+  }
+}
+
 Emitter::Emitter(int num_reducers, int key_width, int value_width)
     : key_width_(key_width),
       value_width_(value_width),
@@ -620,6 +643,10 @@ void Emitter::Emit(const int64_t* key, const int64_t* value) {
   buf.insert(buf.end(), key, key + key_width_);
   buf.insert(buf.end(), value, value + value_width_);
   ++emitted_;
+  AccountEmittedPair();
+}
+
+void Emitter::AccountEmittedPair() {
   buffered_bytes_ +=
       static_cast<int64_t>(key_width_ + value_width_) * sizeof(int64_t);
   if (spill_threshold_bytes_ > 0 &&
@@ -642,6 +669,35 @@ void Emitter::Emit(const int64_t* key, const int64_t* value) {
           "set emitter_spill_threshold_bytes (or raise "
           "memory_budget_bytes)");
     }
+  }
+}
+
+void Emitter::EmitBatch(const int64_t* const* key_cols, const int64_t* values,
+                        int64_t n) {
+  if (n <= 0) return;
+  if (throttle_seconds_per_record_ > 0) {
+    // Same owed-delay batching as Emit, charged for the whole batch.
+    throttle_owed_seconds_ += throttle_seconds_per_record_ * n;
+    if (throttle_owed_seconds_ >= 1e-3) {
+      const double owed = throttle_owed_seconds_;
+      throttle_owed_seconds_ = 0;
+      InterruptibleSleep(owed, cancel_);
+    }
+  }
+  hash_scratch_.resize(static_cast<size_t>(n));
+  PartitionHashColumns(key_cols, key_width_, n, hash_scratch_.data());
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int64_t>& buf =
+        buffers_[static_cast<size_t>(hash_scratch_[i] % buffers_.size())];
+    for (int c = 0; c < key_width_; ++c) buf.push_back(key_cols[c][i]);
+    if (value_width_ > 0) {
+      const int64_t* v = values + i * value_width_;
+      buf.insert(buf.end(), v, v + value_width_);
+    }
+    ++emitted_;
+    // Per-pair accounting keeps spill timing identical to the row path,
+    // so even spill-run boundaries match Emit() exactly.
+    AccountEmittedPair();
   }
 }
 
@@ -672,7 +728,11 @@ void Emitter::SpillBuffers() {
                            ".spill");
       spill_files_.push_back(path);
     }
-    Result<int64_t> offset = AppendRun(path, run);
+    // Spill runs are column blocks (mr/external_sort.h): the sorted run
+    // is transposed so each of the pair's components is one contiguous
+    // value stream on disk. Reads transpose back, so the replayed pairs
+    // are byte-identical to a row-major spill.
+    Result<int64_t> offset = AppendColumnRun(path, run, pair_width);
     if (!offset.ok()) {
       memory_status_ = offset.status();
       return;
@@ -731,7 +791,8 @@ Status Emitter::GatherReducer(int reducer, std::vector<int64_t>* out) const {
   const size_t r = static_cast<size_t>(reducer);
   for (const SpillSegment& seg : spilled_[r]) {
     Result<std::vector<int64_t>> run =
-        ReadRun(spill_files_[seg.file], seg.offset_int64s, seg.count_int64s);
+        ReadColumnRun(spill_files_[seg.file], seg.offset_int64s,
+                      seg.count_int64s, key_width_ + value_width_);
     CASM_RETURN_IF_ERROR(run.status());
     out->insert(out->end(), run.value().begin(), run.value().end());
   }
@@ -749,7 +810,8 @@ Status Emitter::GatherReducerRuns(int reducer,
   const size_t r = static_cast<size_t>(reducer);
   for (const SpillSegment& seg : spilled_[r]) {
     Result<std::vector<int64_t>> run =
-        ReadRun(spill_files_[seg.file], seg.offset_int64s, seg.count_int64s);
+        ReadColumnRun(spill_files_[seg.file], seg.offset_int64s,
+                      seg.count_int64s, key_width_ + value_width_);
     CASM_RETURN_IF_ERROR(run.status());
     runs->push_back(std::move(run).value());
   }

@@ -84,6 +84,14 @@ class TraceRecorder;
 /// the assignment a real run would produce.
 uint64_t PartitionHash(const int64_t* key, int width);
 
+/// Columnar PartitionHash: hashes `n` keys whose components live in
+/// `key_width` separate columns (`key_cols[c][i]` is component c of key i)
+/// into `out[i]`. One tight FNV accumulate loop per column plus one fmix64
+/// finalize pass — bit-identical to PartitionHash on the gathered rows, so
+/// batched and row-at-a-time emits route every pair to the same reducer.
+void PartitionHashColumns(const int64_t* const* key_cols, int key_width,
+                          int64_t n, uint64_t* out);
+
 /// Which side of the job a task attempt belongs to.
 enum class MapReduceTaskPhase { kMap, kReduce };
 
@@ -142,6 +150,16 @@ class Emitter {
   /// Routes (key, value) to the reducer that owns `key`. The partition is
   /// a hash of the key — the uniform random block assignment of §IV-A.
   void Emit(const int64_t* key, const int64_t* value);
+
+  /// Batched Emit: routes `n` pairs whose key components live in
+  /// `key_width` separate columns (`key_cols[c][i]`) and whose values are
+  /// row-major contiguous (`values + i * value_width`, ignored when
+  /// value_width is 0). Partition hashes are computed vectorized over the
+  /// key columns (PartitionHashColumns); routing, emit order, throttle
+  /// charges, and spill/budget accounting are identical to calling Emit
+  /// per pair, so the shuffle output is bit-identical to the row path.
+  void EmitBatch(const int64_t* const* key_cols, const int64_t* values,
+                 int64_t n);
 
   /// Discards every buffered pair, deletes this execution's spilled runs,
   /// shrinks the per-reducer buffers back to empty capacity, and returns
@@ -243,6 +261,9 @@ class Emitter {
   /// spill file, releases the buffers, and returns incrementally-tracked
   /// bytes to the budget. Sets memory_status_ on I/O failure.
   void SpillBuffers();
+  /// Post-emit accounting shared by Emit and EmitBatch: counts the pair's
+  /// bytes, spills past the threshold, and reserves budget chunks.
+  void AccountEmittedPair();
   /// Deletes this execution's spill files and forgets the segments.
   void DropSpillFiles();
 
@@ -273,6 +294,8 @@ class Emitter {
   // Per-record throttling (see set_record_throttle).
   double throttle_seconds_per_record_ = 0;
   double throttle_owed_seconds_ = 0;
+  // EmitBatch hash scratch, reused across batches.
+  std::vector<uint64_t> hash_scratch_;
 };
 
 /// A key group handed to the reduce function: `size()` values sharing one
