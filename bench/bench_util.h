@@ -174,6 +174,22 @@ inline void AppendAttemptHistogram(const MapReduceMetrics& metrics,
   append("reduce", metrics.reduce_attempt_digest);
 }
 
+/// Appends the run's resource-pressure counters to a JSON row. The
+/// perf-regression gate (scripts/check_bench.py) treats these field
+/// suffixes as *ceilings*: a fresh run may not exceed the committed
+/// baseline value, so a default-configuration bench that silently starts
+/// spilling or queueing on the memory budget trips CI.
+inline void AppendResourceMetrics(const MapReduceMetrics& metrics,
+                                  JsonRow* row) {
+  row->fields.emplace_back(
+      "emitter_spilled_bytes",
+      static_cast<double>(metrics.emitter_spilled_bytes));
+  row->fields.emplace_back("reduce_spilled_records",
+                           static_cast<double>(metrics.spilled_records));
+  row->fields.emplace_back("budget_admission_waits",
+                           static_cast<double>(metrics.admission_waits));
+}
+
 /// Writes `rows` to <dir>/<name>.json when CASM_BENCH_JSON names a
 /// directory (CI's bench-smoke job uploads these as workflow artifacts);
 /// no-op otherwise. Labels and keys must not need JSON escaping.

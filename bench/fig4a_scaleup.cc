@@ -59,6 +59,7 @@ int main() {
       JsonRow row{std::to_string(rows) + "/" + PaperQueryName(q), {}};
       row.fields.emplace_back("rows", static_cast<double>(rows));
       row.fields.emplace_back("modeled_seconds", outcome.modeled_seconds);
+      AppendResourceMetrics(outcome.result.metrics, &row);
       json.push_back(std::move(row));
     }
     std::printf("\n");
@@ -88,6 +89,7 @@ int main() {
     opts.num_reducers = workers;
     ExecutionPlan plan = OptimizePlan(ladder_wf, opts).value();
     double best[2] = {1e300, 1e300};  // [0] = row, [1] = columnar
+    MapReduceMetrics columnar_metrics;
     for (int rep = 0; rep < 3; ++rep) {
       for (int variant = 0; variant < 2; ++variant) {
         ParallelEvalOptions eval;
@@ -101,6 +103,7 @@ int main() {
         const double seconds = WallSeconds(start);
         CASM_CHECK(result.ok()) << result.status().ToString();
         best[variant] = std::min(best[variant], seconds);
+        if (variant == 1) columnar_metrics = result->metrics;
       }
     }
     const double row_tput = static_cast<double>(ladder_rows) / best[0];
@@ -114,6 +117,7 @@ int main() {
     row.fields.emplace_back("columnar_seconds", best[1]);
     row.fields.emplace_back("row_throughput_rows_per_sec", row_tput);
     row.fields.emplace_back("columnar_throughput_rows_per_sec", col_tput);
+    AppendResourceMetrics(columnar_metrics, &row);
     json.push_back(std::move(row));
   }
 

@@ -15,14 +15,19 @@ are understood, keyed by the file's top-level shape:
   by ``name``; the compared metric is ``items_per_second``.
 * CASM figure JSON (``{"rows": [...]}``, written by MaybeWriteJson):
   rows are matched by ``label``; every baseline field whose name ends in
-  ``_throughput_rows_per_sec`` is compared.
+  ``_throughput_rows_per_sec`` is compared as a floor, and every field
+  whose name ends in ``_spilled_bytes``, ``_spilled_records`` or
+  ``_admission_waits`` (AppendResourceMetrics in bench/bench_util.h) is
+  compared as a *ceiling* — the fresh value may not exceed the baseline
+  by more than the threshold, so a default-configuration bench that
+  silently starts spilling or queueing on the memory budget trips CI.
 
-Baselines are deliberately conservative floors (well below the throughput
-observed on a warm dev machine), so the gate trips on large, real
-regressions — a batch path silently falling back to rows, an accidental
-debug build — not on shared-runner noise. A benchmark present in the
-baseline but missing from the fresh output fails the gate too: renaming or
-deleting a gated benchmark must come with a baseline update.
+Throughput baselines are deliberately conservative floors (well below the
+throughput observed on a warm dev machine), so the gate trips on large,
+real regressions — a batch path silently falling back to rows, an
+accidental debug build — not on shared-runner noise. A benchmark present
+in the baseline but missing from the fresh output fails the gate too:
+renaming or deleting a gated benchmark must come with a baseline update.
 
 Exit status: 0 = within budget, 1 = regression or coverage gap.
 """
@@ -52,25 +57,33 @@ regression. Do NOT loosen --threshold instead.
 # CI runners several times slower than the machine that seeded them.
 RESEED_FRACTION = 0.35
 
+# Resource counters gated as ceilings (fresh <= baseline * (1+threshold)),
+# emitted by AppendResourceMetrics in bench/bench_util.h.
+CEILING_SUFFIXES = ("_spilled_bytes", "_spilled_records", "_admission_waits")
+
 
 def iter_baseline_metrics(doc):
-    """Yields (entry_key, metric_name, value) for every gated number."""
+    """Yields (entry_key, metric_name, value, direction) for every gated
+    number; direction is "floor" or "ceiling"."""
     if "benchmarks" in doc:
         for bench in doc["benchmarks"]:
             if bench.get("run_type", "iteration") != "iteration":
                 continue
             if "items_per_second" in bench:
-                yield bench["name"], "items_per_second", bench["items_per_second"]
+                yield (bench["name"], "items_per_second",
+                       bench["items_per_second"], "floor")
     elif "rows" in doc:
         for row in doc["rows"]:
             for field, value in row.items():
                 if field.endswith("_throughput_rows_per_sec"):
-                    yield row["label"], field, value
+                    yield row["label"], field, value, "floor"
+                elif field.endswith(CEILING_SUFFIXES):
+                    yield row["label"], field, value, "ceiling"
 
 
 def index_fresh_metrics(doc):
     metrics = {}
-    for key, field, value in iter_baseline_metrics(doc):
+    for key, field, value, _direction in iter_baseline_metrics(doc):
         metrics[(key, field)] = value
     return metrics
 
@@ -88,7 +101,7 @@ def check(baseline_dir, fresh_dir, threshold):
             continue
         baseline = json.loads(path.read_text())
         fresh = index_fresh_metrics(json.loads(fresh_path.read_text()))
-        for key, field, floor in iter_baseline_metrics(baseline):
+        for key, field, bound, direction in iter_baseline_metrics(baseline):
             got = fresh.get((key, field))
             if got is None:
                 failures.append(
@@ -96,24 +109,45 @@ def check(baseline_dir, fresh_dir, threshold):
                     "missing from the fresh run (renamed or deleted?)")
                 continue
             compared += 1
-            limit = floor * (1.0 - threshold)
-            verdict = "ok" if got >= limit else "REGRESSION"
-            print(f"{verdict:>10}  {path.name}:{key} [{field}] "
-                  f"{got:,.0f}/s vs floor {floor:,.0f}/s "
-                  f"(limit {limit:,.0f}/s)")
-            if got < limit:
-                failures.append(
-                    f"{path.name}: '{key}' [{field}] {got:,.0f}/s is more "
-                    f"than {threshold:.0%} below the baseline floor "
-                    f"{floor:,.0f}/s")
+            if direction == "floor":
+                limit = bound * (1.0 - threshold)
+                ok = got >= limit
+                verdict = "ok" if ok else "REGRESSION"
+                print(f"{verdict:>10}  {path.name}:{key} [{field}] "
+                      f"{got:,.0f}/s vs floor {bound:,.0f}/s "
+                      f"(limit {limit:,.0f}/s)")
+                if not ok:
+                    failures.append(
+                        f"{path.name}: '{key}' [{field}] {got:,.0f}/s is "
+                        f"more than {threshold:.0%} below the baseline "
+                        f"floor {bound:,.0f}/s")
+            else:
+                limit = bound * (1.0 + threshold)
+                ok = got <= limit
+                verdict = "ok" if ok else "REGRESSION"
+                print(f"{verdict:>10}  {path.name}:{key} [{field}] "
+                      f"{got:,.0f} vs ceiling {bound:,.0f} "
+                      f"(limit {limit:,.0f})")
+                if not ok:
+                    failures.append(
+                        f"{path.name}: '{key}' [{field}] {got:,.0f} is more "
+                        f"than {threshold:.0%} above the baseline ceiling "
+                        f"{bound:,.0f}")
     if compared == 0 and not failures:
         failures.append("baselines contained no throughput metrics")
     return failures
 
 
 def reseed(fresh_dir, baseline_dir):
-    """Rewrites every existing baseline from fresh output, floored at
-    RESEED_FRACTION of the observed throughput."""
+    """Rewrites every existing baseline from fresh output: floors at
+    RESEED_FRACTION of the observed throughput, ceilings at the observed
+    resource count divided by RESEED_FRACTION (the same ~3x headroom,
+    in the other direction; an observed zero stays an exact-zero gate)."""
+    def reseeded(value, direction):
+        if direction == "floor":
+            return round(value * RESEED_FRACTION)
+        return round(value / RESEED_FRACTION)
+
     for path in sorted(baseline_dir.glob("*.json")):
         fresh_path = fresh_dir / path.name
         if not fresh_path.exists():
@@ -122,24 +156,26 @@ def reseed(fresh_dir, baseline_dir):
         fresh_doc = json.loads(fresh_path.read_text())
         if "benchmarks" in fresh_doc:
             out = {"_comment": _floor_comment(), "benchmarks": []}
-            for key, field, value in iter_baseline_metrics(fresh_doc):
+            for key, field, value, direction in \
+                    iter_baseline_metrics(fresh_doc):
                 out["benchmarks"].append(
-                    {"name": key, field: round(value * RESEED_FRACTION)})
+                    {"name": key, field: reseeded(value, direction)})
         else:
             rows = {}
-            for key, field, value in iter_baseline_metrics(fresh_doc):
-                rows.setdefault(key, {"label": key})[field] = round(
-                    value * RESEED_FRACTION)
+            for key, field, value, direction in \
+                    iter_baseline_metrics(fresh_doc):
+                rows.setdefault(key, {"label": key})[field] = reseeded(
+                    value, direction)
             out = {"_comment": _floor_comment(), "rows": list(rows.values())}
         path.write_text(json.dumps(out, indent=2) + "\n")
         print(f"reseeded {path}")
 
 
 def _floor_comment():
-    return (f"Conservative throughput floors: {RESEED_FRACTION:.0%} of a "
-            "measured run, checked by scripts/check_bench.py with a further "
-            "25% allowance. Reseed with: scripts/check_bench.py --reseed "
-            "<fresh-json-dir> --baselines bench/baselines")
+    return (f"Floors at {RESEED_FRACTION:.0%} of a measured run (ceilings "
+            "at the inverse), checked by scripts/check_bench.py with a "
+            "further 25% allowance. Reseed with: scripts/check_bench.py "
+            "--reseed <fresh-json-dir> --baselines bench/baselines")
 
 
 def main():

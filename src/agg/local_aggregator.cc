@@ -7,9 +7,45 @@
 #include "agg/engines.h"
 #include "common/logging.h"
 #include "local/derivation.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace casm {
+namespace {
+
+/// Per-engine block counter family, resolved once per engine label.
+/// Increment() is self-guarded, so a disabled registry costs one relaxed
+/// load per evaluated block.
+MetricsRegistry::Counter* AggBlocksCounter(LocalAggEngine engine) {
+  static MetricsRegistry::Counter* const sortscan =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_localagg_blocks_total",
+          "Reducer blocks evaluated, by local aggregation engine.",
+          {{"engine", "sortscan"}});
+  static MetricsRegistry::Counter* const morsel =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_localagg_blocks_total",
+          "Reducer blocks evaluated, by local aggregation engine.",
+          {{"engine", "morsel"}});
+  static MetricsRegistry::Counter* const radix =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_localagg_blocks_total",
+          "Reducer blocks evaluated, by local aggregation engine.",
+          {{"engine", "radix"}});
+  switch (engine) {
+    case LocalAggEngine::kSortScan:
+      return sortscan;
+    case LocalAggEngine::kMorsel:
+      return morsel;
+    case LocalAggEngine::kRadix:
+      return radix;
+    case LocalAggEngine::kAdaptive:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 const char* LocalAggEngineName(LocalAggEngine engine) {
   switch (engine) {
@@ -62,6 +98,9 @@ MeasureResultSet LocalAggregator::Evaluate(const LocalAggContext& ctx,
       case LocalAggEngine::kAdaptive:
         break;  // the chooser always resolves to a concrete engine
     }
+  }
+  if (MetricsRegistry::Counter* counter = AggBlocksCounter(chosen)) {
+    counter->Increment();
   }
   if (tracing) {
     ctx.trace->RecordSpan("localagg", LocalAggEngineName(chosen), start,

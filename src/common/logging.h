@@ -4,13 +4,81 @@
 // invariants; it is always on (the library's correctness arguments rely on
 // these invariants, and the cost is negligible off the hot paths where the
 // macro is used).
+//
+// CASM_LOG(severity) is leveled diagnostic logging to stderr:
+//
+//   CASM_LOG(WARN) << "checkpoint store degraded: " << status.message();
+//
+// Severities are INFO < WARN < ERROR. The threshold comes from the
+// CASM_LOG_LEVEL environment variable ("info", "warn", "error", "off";
+// default "warn" so operational warnings stay visible without opting in)
+// and is cached in an atomic — a suppressed statement costs one relaxed
+// load and never evaluates its stream operands.
 
 #ifndef CASM_COMMON_LOGGING_H_
 #define CASM_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
+
+namespace casm {
+
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2, kOff = 3 };
+
+namespace internal {
+
+/// The cached CASM_LOG_LEVEL threshold (parsed once; a benign parse race
+/// stores the same value twice). Relaxed loads afterwards.
+inline LogLevel LogThreshold() {
+  static std::atomic<int> cached{-1};
+  const int hit = cached.load(std::memory_order_relaxed);
+  if (hit >= 0) return static_cast<LogLevel>(hit);
+  LogLevel parsed = LogLevel::kWarn;
+  if (const char* env = std::getenv("CASM_LOG_LEVEL")) {
+    const std::string value(env);
+    if (value == "info" || value == "INFO") parsed = LogLevel::kInfo;
+    else if (value == "warn" || value == "WARN") parsed = LogLevel::kWarn;
+    else if (value == "error" || value == "ERROR") parsed = LogLevel::kError;
+    else if (value == "off" || value == "OFF") parsed = LogLevel::kOff;
+  }
+  cached.store(static_cast<int>(parsed), std::memory_order_relaxed);
+  return parsed;
+}
+
+/// True when `level` should be emitted; one relaxed load on the hot path.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(LogThreshold());
+}
+
+/// Accumulates one log line and emits it to stderr when destroyed. The
+/// single terminating write keeps concurrent log lines unsheared.
+class LogMessageStream {
+ public:
+  LogMessageStream(LogLevel level, const char* file, int line) {
+    const char* tag = level == LogLevel::kInfo
+                          ? "I"
+                          : (level == LogLevel::kWarn ? "W" : "E");
+    stream_ << "casm " << tag << " " << file << ":" << line << "] ";
+  }
+  ~LogMessageStream() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+  }
+  template <typename T>
+  LogMessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace casm
 
 namespace casm::internal {
 
@@ -35,10 +103,11 @@ class CheckFailureStream {
   std::ostringstream stream_;
 };
 
-/// Lets a streamed CheckFailureStream expression be used in a void context
-/// (`operator&` binds looser than `operator<<`).
+/// Lets a streamed CheckFailureStream / LogMessageStream expression be
+/// used in a void context (`operator&` binds looser than `operator<<`).
 struct Voidify {
   void operator&(const CheckFailureStream&) {}
+  void operator&(const LogMessageStream&) {}
 };
 
 }  // namespace casm::internal
@@ -48,6 +117,20 @@ struct Voidify {
               : ::casm::internal::Voidify() &                   \
                     ::casm::internal::CheckFailureStream(       \
                         #condition, __FILE__, __LINE__)
+
+/// CASM_LOG(INFO) << ...; the stream operands are not evaluated when the
+/// severity is below the CASM_LOG_LEVEL threshold.
+#define CASM_LOG(severity) CASM_LOG_IMPL_##severity
+
+#define CASM_LOG_AT(level)                                      \
+  !::casm::internal::LogEnabled(level)                          \
+      ? (void)0                                                 \
+      : ::casm::internal::Voidify() &                           \
+            ::casm::internal::LogMessageStream(level, __FILE__, __LINE__)
+
+#define CASM_LOG_IMPL_INFO CASM_LOG_AT(::casm::LogLevel::kInfo)
+#define CASM_LOG_IMPL_WARN CASM_LOG_AT(::casm::LogLevel::kWarn)
+#define CASM_LOG_IMPL_ERROR CASM_LOG_AT(::casm::LogLevel::kError)
 
 #define CASM_CHECK_EQ(a, b) CASM_CHECK((a) == (b))
 #define CASM_CHECK_NE(a, b) CASM_CHECK((a) != (b))

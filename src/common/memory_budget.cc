@@ -31,10 +31,15 @@ Status MemoryBudget::Reserve(int64_t bytes, const CancellationToken* cancel) {
     const auto wait_start = std::chrono::steady_clock::now();
     while (used_ + bytes > capacity_) {
       if (cancel != nullptr && cancel->cancelled()) {
-        admission_wait_seconds_ +=
+        const double waited =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           wait_start)
                 .count();
+        admission_wait_seconds_ += waited;
+        if (wait_observer_) {
+          lock.unlock();
+          wait_observer_(waited);
+        }
         return cancel->status();
       }
       // A short timed wait doubles as the cancellation/deadline poll: a
@@ -42,10 +47,18 @@ Status MemoryBudget::Reserve(int64_t bytes, const CancellationToken* cancel) {
       // Release() ever arrives.
       released_.wait_for(lock, std::chrono::milliseconds(2));
     }
-    admission_wait_seconds_ +=
+    const double waited =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wait_start)
             .count();
+    admission_wait_seconds_ += waited;
+    used_ += bytes;
+    peak_used_ = std::max(peak_used_, used_);
+    if (wait_observer_) {
+      lock.unlock();
+      wait_observer_(waited);
+    }
+    return Status::OK();
   }
   used_ += bytes;
   peak_used_ = std::max(peak_used_, used_);

@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "common/cancellation.h"
@@ -64,6 +65,16 @@ class MemoryBudget {
   /// Total seconds Reserve() callers spent waiting for admission.
   double admission_wait_seconds() const;
 
+  /// Installs a callback invoked (outside the budget lock) after every
+  /// Reserve() that had to wait, with the seconds it waited. This is how
+  /// the engine bridges admission activity into the live metrics
+  /// registry without common/ depending on obs/. Install before sharing
+  /// the budget across threads; the callback must not re-enter the
+  /// budget.
+  void set_wait_observer(std::function<void(double wait_seconds)> observer) {
+    wait_observer_ = std::move(observer);
+  }
+
  private:
   const int64_t capacity_;
   mutable std::mutex mu_;
@@ -72,6 +83,7 @@ class MemoryBudget {
   int64_t peak_used_ = 0;
   int64_t admission_waits_ = 0;
   double admission_wait_seconds_ = 0;
+  std::function<void(double)> wait_observer_;
 };
 
 }  // namespace casm

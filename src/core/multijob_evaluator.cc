@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -14,6 +15,9 @@
 #include "common/logging.h"
 #include "mr/engine.h"
 #include "mr/external_sort.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace casm {
@@ -318,6 +322,41 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
   MultiJobResult out;
   out.results = MeasureResultSet(wf.num_measures());
 
+  // ---- Live observability resolution — the same discipline as
+  // EvaluateParallel: nothing here runs (and the query label is never
+  // computed) unless some consumer is active. One progress tracker spans
+  // the whole job sequence; each job's phases re-begin under it.
+  FlightRecorder* const flight =
+      options.flight != nullptr ? options.flight : FlightRecorder::Global();
+  const std::string diag_dir = !options.diag_dir.empty()
+                                   ? options.diag_dir
+                                   : FlightRecorder::GlobalDiagDir();
+  const double ticker_seconds = options.progress_seconds > 0
+                                    ? options.progress_seconds
+                                    : ProgressTracker::TickerSecondsFromEnv();
+  const bool observing = MetricsRegistry::Global()->enabled() ||
+                         flight->enabled() || !diag_dir.empty() ||
+                         ticker_seconds > 0 || options.progress != nullptr ||
+                         !options.query_label.empty();
+  std::string query_label = options.query_label;
+  if (observing && query_label.empty()) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "q%016llx",
+                  static_cast<unsigned long long>(FingerprintQuery(wf, table)));
+    query_label = buf;
+  }
+  std::optional<ProgressTracker> local_progress;
+  ProgressTracker* progress = options.progress;
+  if (progress == nullptr && observing) {
+    local_progress.emplace(query_label);
+    progress = &*local_progress;
+  }
+  if (ticker_seconds > 0) progress->StartTicker(ticker_seconds);
+  const auto diagnose = [&](const Status& failure) {
+    MaybeWriteDiagnosticBundle(diag_dir, query_label, failure,
+                               DescribeOptions(options), *flight);
+  };
+
   // Open the checkpoint log up front so restore verification (entry
   // scan, fingerprint check, block checksums) happens before any work.
   std::optional<CheckpointLog> ckpt;
@@ -398,22 +437,32 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
     // budget between jobs fails here rather than starting one that cannot
     // meaningfully finish.
     ParallelEvalOptions job_options = options;
+    // Every job stamps the sequence's resolved label and drives the
+    // sequence-wide progress tracker (ApplyEngineOptions forwards both).
+    job_options.query_label = query_label;
+    job_options.progress = progress;
+    job_options.flight = flight;
     if (options.deadline_seconds > 0) {
       const double remaining = options.deadline_seconds - SecondsSince(start);
       if (remaining <= 0) {
-        return Status::DeadlineExceeded(
+        Status expired = Status::DeadlineExceeded(
             "multi-job evaluation: deadline exceeded after " +
             std::to_string(out.jobs) + " of " +
             std::to_string(wf.num_measures()) + " jobs");
+        diagnose(expired);
+        return expired;
       }
       job_options.deadline_seconds = remaining;
     }
-    if (wf.measure(i).op == MeasureOp::kAggregateRecords) {
-      CASM_RETURN_IF_ERROR(RunBasicJob(wf, i, table, job_options, &engine,
-                                       &out.results, &out.total_metrics));
-    } else {
-      CASM_RETURN_IF_ERROR(RunCompositeJob(wf, i, job_options, &engine,
-                                           &out.results, &out.total_metrics));
+    Status job_status =
+        wf.measure(i).op == MeasureOp::kAggregateRecords
+            ? RunBasicJob(wf, i, table, job_options, &engine, &out.results,
+                          &out.total_metrics)
+            : RunCompositeJob(wf, i, job_options, &engine, &out.results,
+                              &out.total_metrics);
+    if (!job_status.ok()) {
+      diagnose(job_status);
+      return job_status;
     }
     ++out.jobs;
     if (ckpt.has_value()) {
@@ -428,6 +477,11 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
         if (tracing) {
           trace->RecordInstant("ckpt", "ckpt-skipped " + name, /*task=*/-1,
                                "breaker open");
+        }
+        if (flight->enabled()) {
+          flight->Record("ckpt", "ckpt-skipped", /*task=*/i, /*attempt=*/0,
+                         "breaker open: commit of '" + name + "' skipped",
+                         query_label);
         }
       } else {
         const double write_start = tracing ? trace->NowSeconds() : 0;
@@ -447,6 +501,12 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
           out.total_metrics.checkpoint_bytes_written += bytes.value();
         } else {
           breaker.RecordFailure();
+          if (flight->enabled()) {
+            flight->Record("ckpt",
+                           breaker.open() ? "breaker-open" : "ckpt-commit-failed",
+                           /*task=*/i, /*attempt=*/0,
+                           bytes.status().ToString(), query_label);
+          }
           if (tracing && breaker.open()) {
             trace->RecordInstant("ckpt", "ckpt-degraded", /*task=*/-1,
                                  "breaker open: " + bytes.status().ToString());
@@ -460,6 +520,8 @@ Result<MultiJobResult> EvaluateMultiJob(const Workflow& wf,
   out.total_metrics.checkpoint_degraded =
       out.total_metrics.checkpoint_degraded || breaker.degraded();
   apply_dfs_stats(&out.total_metrics);
+  PublishQueryMetrics(MetricsRegistry::Global(), query_label,
+                      out.total_metrics);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -20,6 +21,9 @@
 #include "data/record_batch.h"
 #include "local/derivation.h"
 #include "mr/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace casm {
@@ -96,7 +100,64 @@ void ApplyEngineOptions(const ParallelEvalOptions& options,
   spec->slow_task_injector = options.slow_task_injector;
   spec->record_throttle_injector = options.record_throttle_injector;
   spec->trace = options.trace;
+  spec->flight = options.flight;
+  spec->progress = options.progress;
+  spec->query_label = options.query_label;
 }
+
+std::string DescribeOptions(const ParallelEvalOptions& options) {
+  auto num = [](int64_t v) { return std::to_string(v); };
+  const char* phase = "full";
+  switch (options.phase) {
+    case ParallelEvalPhase::kMapOnly: phase = "map-only"; break;
+    case ParallelEvalPhase::kShuffleOnly: phase = "shuffle-only"; break;
+    case ParallelEvalPhase::kLocalSortOnly: phase = "local-sort-only"; break;
+    case ParallelEvalPhase::kFull: break;
+  }
+  std::string out = "{";
+  out += "\"num_mappers\":" + num(options.num_mappers);
+  out += ",\"num_reducers\":" + num(options.num_reducers);
+  out += ",\"num_threads\":" + num(options.num_threads);
+  out += ",\"phase\":\"" + std::string(phase) + "\"";
+  out += ",\"memory_budget_bytes\":" + num(options.memory_budget_bytes);
+  out += ",\"emitter_spill_threshold_bytes\":" +
+         num(options.emitter_spill_threshold_bytes);
+  out += ",\"reducer_memory_limit_pairs\":" +
+         num(options.reducer_memory_limit_pairs);
+  out += ",\"max_task_attempts\":" + num(options.max_task_attempts);
+  out += ",\"retry_backoff_initial_ms\":" +
+         num(options.retry_backoff_initial_ms);
+  char deadline[32];
+  std::snprintf(deadline, sizeof(deadline), "%.6g", options.deadline_seconds);
+  out += ",\"deadline_seconds\":" + std::string(deadline);
+  out += ",\"speculative_execution\":";
+  out += options.speculative_execution ? "true" : "false";
+  out += ",\"checkpoint\":";
+  out += options.checkpoint.enabled() ? "true" : "false";
+  out += ",\"columnar\":";
+  out += options.columnar ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// The query label observability consumers stamp on their output: the
+/// caller's label, or "q<fingerprint>" derived on demand. Computed only
+/// when some consumer is active — the fingerprint hashes the whole input
+/// table, and the disabled path must stay at relaxed-load cost.
+std::string ResolveQueryLabel(const ParallelEvalOptions& options,
+                              const Workflow& wf, const Table& table,
+                              bool observing) {
+  if (!options.query_label.empty()) return options.query_label;
+  if (!observing) return std::string();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "q%016llx",
+                static_cast<unsigned long long>(FingerprintQuery(wf, table)));
+  return buf;
+}
+
+}  // namespace
 
 Result<ParallelEvalResult> EvaluateParallel(
     const Workflow& wf, const Table& table, const ExecutionPlan& plan,
@@ -116,6 +177,39 @@ Result<ParallelEvalResult> EvaluateParallel(
       }
     }
   }
+
+  // ---- Live observability resolution (see ParallelEvalOptions): the
+  // flight recorder, the diagnostic-bundle directory, the progress
+  // tracker, and the query label they all stamp. Everything here is
+  // inert — and the label never computed — unless some consumer is on.
+  FlightRecorder* const flight =
+      options.flight != nullptr ? options.flight : FlightRecorder::Global();
+  const std::string diag_dir = !options.diag_dir.empty()
+                                   ? options.diag_dir
+                                   : FlightRecorder::GlobalDiagDir();
+  const double ticker_seconds = options.progress_seconds > 0
+                                    ? options.progress_seconds
+                                    : ProgressTracker::TickerSecondsFromEnv();
+  const bool observing = MetricsRegistry::Global()->enabled() ||
+                         flight->enabled() || !diag_dir.empty() ||
+                         ticker_seconds > 0 || options.progress != nullptr ||
+                         !options.query_label.empty();
+  const std::string query_label =
+      ResolveQueryLabel(options, wf, table, observing);
+  std::optional<ProgressTracker> local_progress;
+  ProgressTracker* progress = options.progress;
+  if (progress == nullptr && observing) {
+    local_progress.emplace(query_label);
+    progress = &*local_progress;
+  }
+  if (ticker_seconds > 0) progress->StartTicker(ticker_seconds);
+  // Bundle-on-failure helper shared by every non-OK exit below: dumps the
+  // flight ring, a metrics snapshot and the resolved options to diag_dir
+  // (no-op when no directory is configured).
+  const auto diagnose = [&](const Status& failure) {
+    MaybeWriteDiagnosticBundle(diag_dir, query_label, failure,
+                               DescribeOptions(options), *flight);
+  };
 
   // Checkpointed single-pass evaluation: the full result set is one log
   // entry keyed by the (workflow, table) fingerprint. The entry label is
@@ -175,6 +269,8 @@ Result<ParallelEvalResult> EvaluateParallel(
       out.metrics.checkpoint_jobs_restored = 1;
       out.metrics.checkpoint_bytes_restored = bytes_restored;
       apply_dfs_stats(&out.metrics);
+      PublishQueryMetrics(MetricsRegistry::Global(), query_label,
+                          out.metrics);
       return out;
     }
     if (!restored.ok() &&
@@ -210,6 +306,9 @@ Result<ParallelEvalResult> EvaluateParallel(
   spec.map_only = options.phase == ParallelEvalPhase::kMapOnly;
   spec.skip_reduce = options.phase == ParallelEvalPhase::kShuffleOnly;
   ApplyEngineOptions(options, &spec);
+  // The run-local resolutions override what ApplyEngineOptions copied.
+  spec.progress = progress;
+  spec.query_label = query_label;
 
   DistributedFile::Assignment dfs_assignment;
   if (options.input_file != nullptr) {
@@ -464,11 +563,16 @@ Result<ParallelEvalResult> EvaluateParallel(
   }
   if (!run.ok()) {
     // The engine message already names the failing phase and task id.
-    return Status(run.status().code(),
+    Status failed(run.status().code(),
                   "parallel evaluation failed: " + run.status().message());
+    diagnose(failed);
+    return failed;
   }
   out.metrics = std::move(run).value();
-  if (!sink.first_error.ok()) return sink.first_error;
+  if (!sink.first_error.ok()) {
+    diagnose(sink.first_error);
+    return sink.first_error;
+  }
   out.results = std::move(sink.results);
   out.local_stats = sink.local_stats;
   out.blocks_evaluated = sink.blocks;
@@ -500,6 +604,7 @@ Result<ParallelEvalResult> EvaluateParallel(
   }
   out.metrics.checkpoint_restore_failures = ckpt_restore_failures;
   apply_dfs_stats(&out.metrics);
+  PublishQueryMetrics(MetricsRegistry::Global(), query_label, out.metrics);
   return out;
 }
 

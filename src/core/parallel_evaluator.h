@@ -27,6 +27,8 @@
 
 namespace casm {
 
+class FlightRecorder;
+class ProgressTracker;
 class TraceRecorder;
 
 /// How much of the pipeline to run (the Fig 4(d) cost breakdown).
@@ -99,6 +101,33 @@ struct ParallelEvalOptions {
   /// straggler bench fits its slowdown parameter that way). Not owned.
   TraceRecorder* trace = nullptr;
 
+  // ---- Live observability (obs/metrics.h, obs/progress.h,
+  // obs/flight_recorder.h). With everything below defaulted and the
+  // CASM_METRICS / CASM_PROGRESS / CASM_DIAG_DIR environment switches
+  // unset, the whole stack costs one relaxed load per would-be event.
+
+  /// Label identifying this query in per-query registry counters
+  /// (casm_query_*), progress gauges and flight events. Empty derives
+  /// "q<fingerprint>" from the (workflow, table) fingerprint — computed
+  /// only when some observability consumer is actually active, since the
+  /// fingerprint hashes the input table.
+  std::string query_label;
+  /// Directory receiving a JSON diagnostic bundle (flight-recorder ring +
+  /// metrics snapshot + resolved options) when the evaluation returns a
+  /// non-OK Status. Empty falls back to CASM_DIAG_DIR.
+  std::string diag_dir;
+  /// Flight recorder collecting the run's incident ring. Null uses
+  /// FlightRecorder::Global(), enabled iff CASM_DIAG_DIR is set. Not
+  /// owned.
+  FlightRecorder* flight = nullptr;
+  /// Progress tracker to drive. Null creates a run-local tracker when any
+  /// observability consumer is active (registry enabled, ticker armed,
+  /// diag dir set). Not owned; must outlive the call.
+  ProgressTracker* progress = nullptr;
+  /// Stderr progress-ticker period in seconds; 0 defers to CASM_PROGRESS
+  /// (unset = no ticker).
+  double progress_seconds = 0;
+
   /// Per-record latency injection: seconds of delay charged per record
   /// processed by the given attempt, modeling slow-but-not-stuck nodes
   /// (heterogeneous hardware) rather than the one-shot stalls of
@@ -134,6 +163,10 @@ struct ParallelEvalOptions {
 /// evaluator so the two paths cannot drift.
 void ApplyEngineOptions(const ParallelEvalOptions& options,
                         MapReduceSpec* spec);
+
+/// Renders the resolved options as a one-line JSON object — the
+/// "options" section of a diagnostic bundle (obs/flight_recorder.h).
+std::string DescribeOptions(const ParallelEvalOptions& options);
 
 struct ParallelEvalResult {
   MeasureResultSet results;       // empty unless phase == kFull

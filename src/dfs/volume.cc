@@ -21,6 +21,8 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "dfs/dfs.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace casm {
@@ -272,6 +274,23 @@ void SleepIoBackoff(const DfsVolumeOptions& options, int retry,
   std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
+/// Mirrors one DFS resilience incident into the process-wide metrics
+/// registry and flight recorder. Every call site is a failure path
+/// (retry, failover, rot) whose cost is dominated by the I/O it
+/// annotates, so the per-event instrument lookup is acceptable; with
+/// observability off this is two relaxed loads.
+void ObserveDfsIncident(const char* counter, const char* help,
+                        const char* event, int block, std::string detail) {
+  MetricsRegistry* const registry = MetricsRegistry::Global();
+  if (registry->enabled()) {
+    registry->GetCounter(counter, help)->IncrementAlways(1);
+  }
+  FlightRecorder* const flight = FlightRecorder::Global();
+  if (flight->enabled()) {
+    flight->Record("dfs", event, block, /*attempt=*/0, std::move(detail));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -331,10 +350,8 @@ struct DfsVolume::FileWriter::Runtime {
       std::unique_lock<std::mutex> lock(log_mu);
       if (!logged_corrupt.insert(key).second) return;
     }
-    std::fprintf(stderr,
-                 "casm-dfs: corrupt replica of '%s' block %d on node %d "
-                 "(checksum mismatch)\n",
-                 name.c_str(), block, node);
+    CASM_LOG(WARN) << "casm-dfs: corrupt replica of '" << name << "' block "
+                   << block << " on node " << node << " (checksum mismatch)";
   }
 };
 
@@ -395,6 +412,11 @@ Status WriteReplicaWithRetry(const std::string& root,
                            "write node=" + std::to_string(node) + " " +
                                last.message());
     }
+    ObserveDfsIncident("casm_dfs_io_retries_total",
+                       "DFS replica I/O attempts that were retried.",
+                       "dfs-retry", block,
+                       "write node=" + std::to_string(node) + " " +
+                           last.message());
     SleepIoBackoff(options, retry, site);
   }
 }
@@ -435,6 +457,11 @@ Result<std::string> ReadReplicaWithRetry(const std::string& root,
                            "read node=" + std::to_string(node) + " " +
                                bytes.status().message());
     }
+    ObserveDfsIncident("casm_dfs_io_retries_total",
+                       "DFS replica I/O attempts that were retried.",
+                       "dfs-retry", block,
+                       "read node=" + std::to_string(node) + " " +
+                           bytes.status().message());
     SleepIoBackoff(options, retry, site);
   }
 }
@@ -678,9 +705,21 @@ Status DfsVolume::FileWriter::Commit() {
         trace->RecordInstant("dfs", "dfs-failover", i,
                              name_ + " off node " + std::to_string(n));
       }
+      ObserveDfsIncident(
+          "casm_dfs_write_failovers_total",
+          "Blocks whose preferred replica placement failed over to "
+          "another node.",
+          "dfs-failover", i, name_ + " off node " + std::to_string(n));
     }
-    if (static_cast<int>(placed.size()) < target && runtime != nullptr) {
-      runtime->under_replicated_blocks.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(placed.size()) < target) {
+      if (runtime != nullptr) {
+        runtime->under_replicated_blocks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+      ObserveDfsIncident(
+          "casm_dfs_under_replicated_blocks_total",
+          "Blocks committed with fewer replicas than the target.",
+          "dfs-under-replicated", i, name_);
     }
   }
   if (staged != nullptr) std::fclose(staged);
@@ -816,6 +855,10 @@ Result<std::string> DfsVolume::ReadFile(const std::string& name,
         runtime->corrupt_replicas.fetch_add(1, std::memory_order_relaxed);
         runtime->LogCorruptOnce(name, block_index, node);
       }
+      ObserveDfsIncident("casm_dfs_corrupt_replicas_total",
+                         "Replica reads that failed size/CRC verification.",
+                         "dfs-corrupt", block_index,
+                         name + " node " + std::to_string(node));
     }
     if (!found) {
       if (tracing) {
@@ -842,6 +885,12 @@ Result<std::string> DfsVolume::ReadFile(const std::string& name,
                              name + " node " + std::to_string(node) +
                                  " from node " + std::to_string(good_node));
       }
+      ObserveDfsIncident(
+          "casm_dfs_repaired_replicas_total",
+          "Corrupt or missing replicas rewritten from a good copy.",
+          "dfs-repair", block_index,
+          name + " node " + std::to_string(node) + " from node " +
+              std::to_string(good_node));
     }
     out.append(good_bytes);
     if (stats != nullptr) ++stats->blocks_read;
@@ -967,6 +1016,12 @@ Result<ScrubReport> DfsVolume::Scrub() const {
             runtime->corrupt_replicas.fetch_add(1, std::memory_order_relaxed);
             runtime->LogCorruptOnce(name, block_index, node);
           }
+          ObserveDfsIncident("casm_dfs_corrupt_replicas_total",
+                             "Replica reads that failed size/CRC "
+                             "verification.",
+                             "dfs-corrupt", block_index,
+                             name + " node " + std::to_string(node) +
+                                 " (scrub)");
         }
       }
       if (!have_good) {
@@ -998,6 +1053,11 @@ Result<ScrubReport> DfsVolume::Scrub() const {
         if (runtime != nullptr) {
           runtime->repaired_replicas.fetch_add(1, std::memory_order_relaxed);
         }
+        ObserveDfsIncident(
+            "casm_dfs_repaired_replicas_total",
+            "Corrupt or missing replicas rewritten from a good copy.",
+            "dfs-repair", block_index,
+            name + " node " + std::to_string(node) + " (scrub)");
       };
       for (int node : bad) try_place(node);
       for (int k = 0; k < options_.num_nodes; ++k) {

@@ -21,7 +21,11 @@
 #include "common/math.h"
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
+#include "mr/cluster_model.h"
 #include "mr/external_sort.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -53,6 +57,36 @@ struct RetryCounters {
   int64_t failures = 0;
   int64_t retries = 0;
 };
+
+/// Live registry counters for rare engine events. The instruments are
+/// resolved once (GetCounter takes the registry lock) and cached in
+/// function-local statics; Increment() is inert while the registry is
+/// disabled, so the default path stays at one relaxed load.
+MetricsRegistry::Counter* TaskFailedCounter(MapReduceTaskPhase phase) {
+  static MetricsRegistry::Counter* const map_counter =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_tasks_failed_total",
+          "Task attempts that failed (both retried and terminal).",
+          {{"phase", "map"}});
+  static MetricsRegistry::Counter* const reduce_counter =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_tasks_failed_total",
+          "Task attempts that failed (both retried and terminal).",
+          {{"phase", "reduce"}});
+  return phase == MapReduceTaskPhase::kMap ? map_counter : reduce_counter;
+}
+
+MetricsRegistry::Counter* TaskRetriedCounter(MapReduceTaskPhase phase) {
+  static MetricsRegistry::Counter* const map_counter =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_tasks_retried_total",
+          "Failed task attempts that were replayed.", {{"phase", "map"}});
+  static MetricsRegistry::Counter* const reduce_counter =
+      MetricsRegistry::Global()->GetCounter(
+          "casm_tasks_retried_total",
+          "Failed task attempts that were replayed.", {{"phase", "reduce"}});
+  return phase == MapReduceTaskPhase::kMap ? map_counter : reduce_counter;
+}
 
 /// Timestamps (trace time base) of an execution's final, successful
 /// attempt. The retry loop cannot classify a success — whether it is an
@@ -116,6 +150,8 @@ Status RunTaskWithRetry(
         attempt_body) {
   const char* phase_name = TaskPhaseName(phase);
   const bool armed = plan != nullptr && plan->armed();
+  FlightRecorder* const flight =
+      spec.flight != nullptr ? spec.flight : FlightRecorder::Global();
   for (int attempt = 1;; ++attempt) {
     if (token != nullptr && token->cancelled()) return token->status();
     const int injector_attempt = attempt_offset + attempt;
@@ -170,9 +206,15 @@ Status RunTaskWithRetry(
       std::unique_lock<std::mutex> lock(counters->mu);
       ++counters->failures;
     }
+    TaskFailedCounter(phase)->Increment();
     const bool budget_left = attempt < spec.max_task_attempts;
     if (output_started || !budget_left) {
       if (tracing) record_attempt(TraceOutcome::kFailed, status.message());
+      if (flight->enabled()) {
+        flight->Record("task", "task-failed", task, injector_attempt,
+                       std::string(phase_name) + ": " + status.message(),
+                       spec.query_label);
+      }
       std::string msg = std::string(TaskPhaseName(phase)) + " task " +
                         std::to_string(task) + " failed after " +
                         std::to_string(attempt) + " attempt(s): " +
@@ -183,10 +225,16 @@ Status RunTaskWithRetry(
       return Status(status.code(), std::move(msg));
     }
     if (tracing) record_attempt(TraceOutcome::kRetried, status.message());
+    if (flight->enabled()) {
+      flight->Record("task", "task-retried", task, injector_attempt,
+                     std::string(phase_name) + ": " + status.message(),
+                     spec.query_label);
+    }
     {
       std::unique_lock<std::mutex> lock(counters->mu);
       ++counters->retries;
     }
+    TaskRetriedCounter(phase)->Increment();
     const double backoff =
         RetryBackoffSeconds(spec, phase, task, injector_attempt);
     if (backoff > 0 && !InterruptibleSleep(backoff, token)) {
@@ -274,6 +322,9 @@ class PhaseRunner {
   Status Run(const AttemptBody& body, PhaseStats* out) {
     body_ = &body;
     stats_.winner_exec.assign(static_cast<size_t>(num_tasks_), -1);
+    if (spec_.progress != nullptr) {
+      spec_.progress->BeginPhase(TaskPhaseName(phase_), num_tasks_);
+    }
     const bool tracing = trace_ != nullptr && trace_->enabled();
     const double phase_span_start = tracing ? trace_->NowSeconds() : 0;
     {
@@ -440,6 +491,9 @@ class PhaseRunner {
         task.resolved = true;
         ++resolved_;
         stats_.winner_exec[static_cast<size_t>(t)] = e;
+        if (spec_.progress != nullptr) {
+          spec_.progress->TaskFinished(TaskPhaseName(phase_));
+        }
         completed_sketch_.Add(seconds);
         if (e == 1) ++stats_.speculative_wins;
         for (int other = 0; other < 2; ++other) {
@@ -613,7 +667,9 @@ Emitter::~Emitter() {
 void Emitter::ConfigureMemory(MemoryBudget* budget,
                               int64_t base_reserved_bytes,
                               int64_t spill_threshold_bytes,
-                              std::string spill_dir, TraceRecorder* trace) {
+                              std::string spill_dir, TraceRecorder* trace,
+                              FlightRecorder* flight,
+                              std::string query_label) {
   budget_ = budget;
   base_reserved_bytes_ = base_reserved_bytes;
   spill_threshold_bytes_ = spill_threshold_bytes;
@@ -621,6 +677,8 @@ void Emitter::ConfigureMemory(MemoryBudget* budget,
                    ? std::filesystem::temp_directory_path().string()
                    : std::move(spill_dir);
   trace_ = trace;
+  flight_ = flight;
+  query_label_ = std::move(query_label);
 }
 
 void Emitter::Emit(const int64_t* key, const int64_t* value) {
@@ -747,11 +805,36 @@ void Emitter::SpillBuffers() {
   buffered_bytes_ = 0;
   if (budget_ != nullptr) budget_->Release(extra_reserved_bytes_);
   extra_reserved_bytes_ = 0;
-  if (trace_ != nullptr && trace_->enabled() && spilled_runs_ > runs_before) {
-    trace_->RecordInstant(
-        "memory", "emitter-spill", /*task=*/-1,
-        "runs=" + std::to_string(spilled_runs_ - runs_before) +
-            " records=" + std::to_string(spilled_records_ - records_before));
+  if (spilled_runs_ > runs_before) {
+    const int64_t runs = spilled_runs_ - runs_before;
+    const int64_t records = spilled_records_ - records_before;
+    const std::string detail =
+        "runs=" + std::to_string(runs) + " records=" + std::to_string(records);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->RecordInstant("memory", "emitter-spill", /*task=*/-1, detail);
+    }
+    if (flight_ != nullptr && flight_->enabled()) {
+      flight_->Record("memory", "emitter-spill", /*task=*/-1, /*attempt=*/0,
+                      detail, query_label_);
+    }
+    MetricsRegistry* const registry = MetricsRegistry::Global();
+    if (registry->enabled()) {
+      static MetricsRegistry::Counter* const spills = registry->GetCounter(
+          "casm_emitter_spills_total",
+          "Map-side spill events (each writes >= 1 sorted run to disk).");
+      static MetricsRegistry::Counter* const spilled_records =
+          registry->GetCounter(
+              "casm_emitter_spilled_records_total",
+              "Pairs written to disk by map-side emitter spills.");
+      static MetricsRegistry::Counter* const spilled_bytes =
+          registry->GetCounter(
+              "casm_emitter_spilled_bytes_total",
+              "Bytes written to disk by map-side emitter spills.");
+      spills->IncrementAlways(1);
+      spilled_records->IncrementAlways(records);
+      spilled_bytes->IncrementAlways(records * pair_width *
+                                     static_cast<int64_t>(sizeof(int64_t)));
+    }
   }
 }
 
@@ -910,6 +993,13 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
       spec.trace != nullptr ? spec.trace : TraceRecorder::Global();
   const bool tracing = trace->enabled();
   const double trace_run_start = tracing ? trace->NowSeconds() : 0;
+  const int64_t trace_dropped_at_start = tracing ? trace->dropped_events() : 0;
+  // Live observability (see MapReduceSpec): the flight recorder and the
+  // progress tracker. Both cost one relaxed load per would-be event when
+  // their environment switches are off.
+  FlightRecorder* const flight =
+      spec.flight != nullptr ? spec.flight : FlightRecorder::Global();
+  ProgressTracker* const progress = spec.progress;
   if (tracing) {
     pool.set_queue_latency_hook([trace](double queued_seconds) {
       const double now = trace->NowSeconds();
@@ -981,6 +1071,22 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
   // before starting. With no capacity the budget never blocks and
   // peak_tracked_bytes measures the unbounded run.
   MemoryBudget budget(spec.memory_budget_bytes);
+  // Bridge admission waits into the live registry (the budget cannot
+  // depend on obs/ itself). Instruments resolve lazily so a disabled
+  // registry never pays the lookup.
+  budget.set_wait_observer([](double waited_seconds) {
+    MetricsRegistry* const registry = MetricsRegistry::Global();
+    if (!registry->enabled()) return;
+    static MetricsRegistry::Counter* const waits = registry->GetCounter(
+        "casm_admission_waits_total",
+        "Memory reservations that had to queue for admission.");
+    static MetricsRegistry::Histogram* const wait_seconds =
+        registry->GetHistogram(
+            "casm_admission_wait_seconds",
+            "Seconds individual reservations spent queued for admission.");
+    waits->IncrementAlways(1);
+    wait_seconds->ObserveAlways(waited_seconds);
+  });
   int64_t spill_threshold = spec.emitter_spill_threshold_bytes;
   if (spill_threshold <= 0 && spec.memory_budget_bytes > 0) {
     // A bounded budget without an explicit threshold derives one: map
@@ -1012,7 +1118,8 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
       slot = std::make_unique<Emitter>(num_reducers, spec.key_width,
                                        spec.value_width);
       slot->ConfigureMemory(&budget, map_reservation, spill_threshold,
-                            spec.spill_dir, tracing ? trace : nullptr);
+                            spec.spill_dir, tracing ? trace : nullptr,
+                            flight, spec.query_label);
       slot->set_spill_order(pair_less);
     }
     Emitter* emitter = slot.get();
@@ -1081,6 +1188,19 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
     metrics.reducer_pairs[static_cast<size_t>(r)] = pairs;
   }
 
+  // Seed the reduce-phase ETA from the cluster cost model: once the
+  // shuffle counts are known, the modeled per-reducer costs stand in for
+  // an observed rate until the first reduce task actually completes.
+  if (progress != nullptr && !spec.map_only) {
+    const ClusterCostParams model = ClusterCostParams::Default();
+    double modeled = 0;
+    for (int64_t pairs : metrics.reducer_pairs) {
+      modeled += ReducerCostSeconds(static_cast<double>(pairs), model);
+    }
+    progress->SetModeledRemainingSeconds(
+        "reduce", modeled / std::max(1, num_threads_));
+  }
+
   // Budget accounting for the metrics: spill activity counts every
   // execution (it measures I/O actually performed, losers included).
   auto finalize_memory_metrics = [&] {
@@ -1096,6 +1216,9 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
         metrics.emitter_spilled_records += slot->spilled_records();
       }
     }
+    metrics.emitter_spilled_bytes = metrics.emitter_spilled_records *
+                                    pair_width *
+                                    static_cast<int64_t>(sizeof(int64_t));
   };
 
   // On success: close the run's "job" span and digest this run's events
@@ -1114,7 +1237,22 @@ Result<MapReduceMetrics> MapReduceEngine::Run(const MapReduceSpec& spec,
                                   return ev.end_seconds() < trace_run_start;
                                 }),
                  events.end());
-    metrics.run_report_summary = BuildRunReport(events).Summary();
+    RunReport report = BuildRunReport(events);
+    // Spans dropped *during this run* at the recorder's per-thread cap:
+    // the delta against the run-start count, so one process running many
+    // jobs does not re-report old losses.
+    report.trace_dropped_events =
+        trace->dropped_events() - trace_dropped_at_start;
+    if (report.trace_dropped_events > 0) {
+      MetricsRegistry* const registry = MetricsRegistry::Global();
+      if (registry->enabled()) {
+        registry
+            ->GetCounter("casm_trace_dropped_spans_total",
+                         "Trace spans dropped at the per-thread event cap.")
+            ->IncrementAlways(report.trace_dropped_events);
+      }
+    }
+    metrics.run_report_summary = report.Summary();
   };
 
   if (spec.map_only) {

@@ -76,6 +76,8 @@
 
 namespace casm {
 
+class FlightRecorder;
+class ProgressTracker;
 class ThreadPool;
 class TraceRecorder;
 
@@ -182,11 +184,15 @@ class Emitter {
   /// (may be null), treating `base_reserved_bytes` as already reserved by
   /// the caller, and spill to `spill_dir` once the buffered bytes exceed
   /// `spill_threshold_bytes` (0 disables spilling). `trace` (may be null)
-  /// receives a "memory" instant per spill. Engine-internal, but public
-  /// so tests can drive an Emitter directly.
+  /// receives a "memory" instant per spill; `flight` (may be null)
+  /// receives a "memory"/"emitter-spill" ring event stamped with
+  /// `query_label`. Engine-internal, but public so tests can drive an
+  /// Emitter directly.
   void ConfigureMemory(MemoryBudget* budget, int64_t base_reserved_bytes,
                        int64_t spill_threshold_bytes, std::string spill_dir,
-                       TraceRecorder* trace = nullptr);
+                       TraceRecorder* trace = nullptr,
+                       FlightRecorder* flight = nullptr,
+                       std::string query_label = std::string());
 
   /// Spills every buffered pair (used by the engine at the end of a
   /// successful map attempt so a completed task holds no memory while it
@@ -272,6 +278,8 @@ class Emitter {
   int64_t emitted_ = 0;
   const CancellationToken* cancel_ = nullptr;  // not owned; set per attempt
   TraceRecorder* trace_ = nullptr;             // not owned; may be null
+  FlightRecorder* flight_ = nullptr;           // not owned; may be null
+  std::string query_label_;                    // stamped on flight events
   // Per-reducer buffer of flattened [key..., value...] entries.
   std::vector<std::vector<int64_t>> buffers_;
 
@@ -458,6 +466,24 @@ struct MapReduceSpec {
   /// which is enabled only when CASM_TRACE is set — so the default costs
   /// one relaxed load per would-be event. Not owned; must outlive Run().
   TraceRecorder* trace = nullptr;
+
+  // ---- Live observability (obs/metrics.h, obs/progress.h,
+  // obs/flight_recorder.h). All three default to process-global
+  // singletons that are disabled unless their environment variables are
+  // set, so the default cost is one relaxed load per would-be event.
+
+  /// Failure flight recorder: task failures/retries and emitter spills
+  /// are recorded as ring events for the post-failure diagnostic bundle.
+  /// null = FlightRecorder::Global() (enabled under CASM_DIAG_DIR). Not
+  /// owned; must outlive Run().
+  FlightRecorder* flight = nullptr;
+  /// Live progress: the engine begins a phase per task phase and marks
+  /// tasks as they resolve. null = no progress tracking. Not owned; must
+  /// outlive Run().
+  ProgressTracker* progress = nullptr;
+  /// Query label stamped on flight events and progress gauges (the
+  /// evaluators set the query fingerprint). Empty is fine.
+  std::string query_label;
 };
 
 /// Executes MapReduce jobs on an internal thread pool. The pool is created

@@ -57,10 +57,12 @@ struct MapReduceMetrics {
   /// budget it measures the unbounded run's peak.
   int64_t peak_tracked_bytes = 0;
   /// Map-side spill activity: sorted runs the emitters wrote to disk past
-  /// `emitter_spill_threshold_bytes`, and the pairs they contained
-  /// (replayed at shuffle; 0 when spilling is off).
+  /// `emitter_spill_threshold_bytes`, the pairs they contained (replayed
+  /// at shuffle; 0 when spilling is off), and the bytes those pairs
+  /// occupied on disk (records x pair width x 8).
   int64_t emitter_spilled_runs = 0;
   int64_t emitter_spilled_records = 0;
+  int64_t emitter_spilled_bytes = 0;
   /// Task launches that had to queue for budget admission, and the total
   /// time they spent waiting. Speculation's doubled executions queue here
   /// instead of overcommitting memory.
@@ -160,6 +162,17 @@ struct MapReduceMetrics {
   /// Accumulates another run's metrics (used by multi-job evaluations).
   void Accumulate(const MapReduceMetrics& other);
 };
+
+class MetricsRegistry;
+
+/// Publishes every counter of a completed run's `metrics` into `registry`
+/// under {query=`query`} labels (`casm_query_*` families), making the
+/// run's resource footprint scrapeable per concurrent query. Counters are
+/// *added*, so a fresh query label reads back exactly equal to the
+/// MapReduceMetrics fields; re-running under the same label accumulates,
+/// like any Prometheus counter. No-op while the registry is disabled.
+void PublishQueryMetrics(MetricsRegistry* registry, const std::string& query,
+                         const MapReduceMetrics& metrics);
 
 }  // namespace casm
 

@@ -1,0 +1,580 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace casm {
+namespace {
+
+/// Process-unique instrument ids, never reused: a thread-local cell cache
+/// entry for a destroyed instrument can never alias a live one.
+uint64_t NextInstrumentId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache instrument-id -> cell. Entries for destroyed
+/// instruments go stale harmlessly (their ids are never looked up again);
+/// the cells themselves are owned by the instruments, not the thread.
+std::unordered_map<uint64_t, void*>& TlsCellCache() {
+  static thread_local std::unordered_map<uint64_t, void*> cache;
+  return cache;
+}
+
+MetricLabels SortedLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double value;
+    std::memcpy(&value, &observed, sizeof(value));
+    value += delta;
+    uint64_t desired;
+    std::memcpy(&desired, &value, sizeof(desired));
+    if (bits->compare_exchange_weak(observed, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Doubles render via %.9g (integral values without a fraction), int64
+/// counters as exact decimal integers — the acceptance criteria compare
+/// per-query counters against MapReduceMetrics with integer equality.
+void AppendDouble(std::string* out, double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    out->append(std::to_string(static_cast<int64_t>(v)));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      case '\r': out->append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// `{a="b",c="d"}` (empty string for no labels), Prometheus-escaped.
+std::string PromLabelString(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(labels[i].first);
+    out.append("=\"");
+    for (char c : labels[i].second) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') { out.append("\\n"); continue; }
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Prometheus label string with one extra pair merged in sorted position
+/// (for histogram `le` labels).
+std::string PromLabelStringWith(const MetricLabels& labels,
+                                const std::string& key,
+                                const std::string& value) {
+  MetricLabels merged = labels;
+  merged.emplace_back(key, value);
+  std::sort(merged.begin(), merged.end());
+  return PromLabelString(merged);
+}
+
+std::vector<double> DefaultHistogramBounds() {
+  return {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Counter
+
+struct MetricsRegistry::Counter::Cell {
+  std::atomic<int64_t> value{0};
+};
+
+MetricsRegistry::Counter::Counter(uint64_t id,
+                                  const std::atomic<bool>* enabled,
+                                  MetricLabels labels)
+    : id_(id), enabled_(enabled), labels_(std::move(labels)) {}
+
+MetricsRegistry::Counter::~Counter() = default;
+
+MetricsRegistry::Counter::Cell* MetricsRegistry::Counter::CellForThisThread() {
+  auto& cache = TlsCellCache();
+  auto it = cache.find(id_);
+  if (it != cache.end()) return static_cast<Cell*>(it->second);
+  std::unique_lock<std::mutex> lock(cells_mu_);
+  cells_.push_back(std::make_unique<Cell>());
+  Cell* cell = cells_.back().get();
+  lock.unlock();
+  cache.emplace(id_, cell);
+  return cell;
+}
+
+void MetricsRegistry::Counter::IncrementAlways(int64_t delta) {
+  CellForThisThread()->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t MetricsRegistry::Counter::Value() const {
+  std::unique_lock<std::mutex> lock(cells_mu_);
+  int64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------ Gauge
+
+uint64_t MetricsRegistry::Gauge::ToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double MetricsRegistry::Gauge::FromBits(uint64_t b) { return BitsToDouble(b); }
+
+void MetricsRegistry::Gauge::Add(double delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  AtomicAddDouble(&bits_, delta);
+}
+
+// -------------------------------------------------------------- Histogram
+
+struct MetricsRegistry::Histogram::Cell {
+  explicit Cell(size_t num_buckets) : buckets(num_buckets) {}
+  std::vector<std::atomic<int64_t>> buckets;  // bounds.size() + 1
+  std::atomic<uint64_t> sum_bits{0};
+};
+
+MetricsRegistry::Histogram::Histogram(uint64_t id,
+                                      const std::atomic<bool>* enabled,
+                                      MetricLabels labels,
+                                      std::vector<double> bounds)
+    : id_(id),
+      enabled_(enabled),
+      labels_(std::move(labels)),
+      bounds_(std::move(bounds)) {}
+
+MetricsRegistry::Histogram::~Histogram() = default;
+
+MetricsRegistry::Histogram::Cell*
+MetricsRegistry::Histogram::CellForThisThread() {
+  auto& cache = TlsCellCache();
+  auto it = cache.find(id_);
+  if (it != cache.end()) return static_cast<Cell*>(it->second);
+  std::unique_lock<std::mutex> lock(cells_mu_);
+  cells_.push_back(std::make_unique<Cell>(bounds_.size() + 1));
+  Cell* cell = cells_.back().get();
+  lock.unlock();
+  cache.emplace(id_, cell);
+  return cell;
+}
+
+void MetricsRegistry::Histogram::ObserveAlways(double value) {
+  Cell* cell = CellForThisThread();
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  cell->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&cell->sum_bits, value);
+}
+
+int64_t MetricsRegistry::Histogram::Count() const {
+  int64_t total = 0;
+  for (int64_t n : BucketCounts()) total += n;
+  return total;
+}
+
+double MetricsRegistry::Histogram::Sum() const {
+  std::unique_lock<std::mutex> lock(cells_mu_);
+  double total = 0;
+  for (const auto& cell : cells_) {
+    total += BitsToDouble(cell->sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::vector<int64_t> MetricsRegistry::Histogram::BucketCounts() const {
+  std::unique_lock<std::mutex> lock(cells_mu_);
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const auto& cell : cells_) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += cell->buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+// --------------------------------------------------------------- Registry
+
+MetricsRegistry::Family* MetricsRegistry::FamilyLocked(
+    const std::string& name, Kind kind, const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  }
+  CASM_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' registered with two instrument kinds";
+  return &it->second;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                                      const std::string& help,
+                                                      MetricLabels labels) {
+  labels = SortedLabels(std::move(labels));
+  std::unique_lock<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, Kind::kCounter, help);
+  for (const auto& counter : family->counters) {
+    if (counter->labels_ == labels) return counter.get();
+  }
+  family->counters.emplace_back(
+      new Counter(NextInstrumentId(), &enabled_, std::move(labels)));
+  return family->counters.back().get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                                  const std::string& help,
+                                                  MetricLabels labels) {
+  labels = SortedLabels(std::move(labels));
+  std::unique_lock<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, Kind::kGauge, help);
+  for (const auto& gauge : family->gauges) {
+    if (gauge->labels_ == labels) return gauge.get();
+  }
+  family->gauges.emplace_back(new Gauge(&enabled_, std::move(labels)));
+  return family->gauges.back().get();
+}
+
+MetricsRegistry::Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& help, MetricLabels labels,
+    std::vector<double> bounds) {
+  labels = SortedLabels(std::move(labels));
+  if (bounds.empty()) bounds = DefaultHistogramBounds();
+  std::sort(bounds.begin(), bounds.end());
+  std::unique_lock<std::mutex> lock(mu_);
+  Family* family = FamilyLocked(name, Kind::kHistogram, help);
+  for (const auto& histogram : family->histograms) {
+    if (histogram->labels_ == labels) return histogram.get();
+  }
+  family->histograms.emplace_back(new Histogram(
+      NextInstrumentId(), &enabled_, std::move(labels), std::move(bounds)));
+  return family->histograms.back().get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const MetricLabels& labels) const {
+  const MetricLabels sorted = SortedLabels(labels);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kCounter) return 0;
+  for (const auto& counter : it->second.counters) {
+    if (counter->labels_ == sorted) {
+      lock.unlock();
+      return counter->Value();
+    }
+  }
+  return 0;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name,
+                                   const MetricLabels& labels) const {
+  const MetricLabels sorted = SortedLabels(labels);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kGauge) return 0;
+  for (const auto& gauge : it->second.gauges) {
+    if (gauge->labels_ == sorted) return gauge->Value();
+  }
+  return 0;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out.append("# HELP ").append(name).append(" ").append(family.help);
+    out.push_back('\n');
+    out.append("# TYPE ").append(name).append(" ");
+    switch (family.kind) {
+      case Kind::kCounter: out.append("counter"); break;
+      case Kind::kGauge: out.append("gauge"); break;
+      case Kind::kHistogram: out.append("histogram"); break;
+    }
+    out.push_back('\n');
+    // Series sorted by label set for deterministic output (instruments
+    // register in thread-race order).
+    if (family.kind == Kind::kCounter) {
+      std::vector<Counter*> series;
+      for (const auto& c : family.counters) series.push_back(c.get());
+      std::sort(series.begin(), series.end(),
+                [](Counter* a, Counter* b) { return a->labels_ < b->labels_; });
+      for (Counter* c : series) {
+        out.append(name).append(PromLabelString(c->labels_)).append(" ");
+        out.append(std::to_string(c->Value()));
+        out.push_back('\n');
+      }
+    } else if (family.kind == Kind::kGauge) {
+      std::vector<Gauge*> series;
+      for (const auto& g : family.gauges) series.push_back(g.get());
+      std::sort(series.begin(), series.end(),
+                [](Gauge* a, Gauge* b) { return a->labels_ < b->labels_; });
+      for (Gauge* g : series) {
+        out.append(name).append(PromLabelString(g->labels_)).append(" ");
+        AppendDouble(&out, g->Value());
+        out.push_back('\n');
+      }
+    } else {
+      std::vector<Histogram*> series;
+      for (const auto& h : family.histograms) series.push_back(h.get());
+      std::sort(series.begin(), series.end(), [](Histogram* a, Histogram* b) {
+        return a->labels_ < b->labels_;
+      });
+      for (Histogram* h : series) {
+        const std::vector<int64_t> counts = h->BucketCounts();
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < h->bounds_.size(); ++b) {
+          cumulative += counts[b];
+          std::string le;
+          AppendDouble(&le, h->bounds_[b]);
+          out.append(name).append("_bucket");
+          out.append(PromLabelStringWith(h->labels_, "le", le)).append(" ");
+          out.append(std::to_string(cumulative));
+          out.push_back('\n');
+        }
+        cumulative += counts.back();
+        out.append(name).append("_bucket");
+        out.append(PromLabelStringWith(h->labels_, "le", "+Inf")).append(" ");
+        out.append(std::to_string(cumulative));
+        out.push_back('\n');
+        out.append(name).append("_sum");
+        out.append(PromLabelString(h->labels_)).append(" ");
+        AppendDouble(&out, h->Sum());
+        out.push_back('\n');
+        out.append(name).append("_count");
+        out.append(PromLabelString(h->labels_)).append(" ");
+        out.append(std::to_string(cumulative));
+        out.push_back('\n');
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonLabels(std::string* out, const MetricLabels& labels) {
+  out->append("{");
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('"');
+    AppendJsonEscaped(out, labels[i].first);
+    out->append("\":\"");
+    AppendJsonEscaped(out, labels[i].second);
+    out->push_back('"');
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Json() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out.push_back(',');
+    first_family = false;
+    out.append("{\"name\":\"");
+    AppendJsonEscaped(&out, name);
+    out.append("\",\"type\":\"");
+    switch (family.kind) {
+      case Kind::kCounter: out.append("counter"); break;
+      case Kind::kGauge: out.append("gauge"); break;
+      case Kind::kHistogram: out.append("histogram"); break;
+    }
+    out.append("\",\"help\":\"");
+    AppendJsonEscaped(&out, family.help);
+    out.append("\",\"samples\":[");
+    bool first_sample = true;
+    auto begin_sample = [&](const MetricLabels& labels) {
+      if (!first_sample) out.push_back(',');
+      first_sample = false;
+      out.append("{\"labels\":");
+      AppendJsonLabels(&out, labels);
+    };
+    if (family.kind == Kind::kCounter) {
+      std::vector<Counter*> series;
+      for (const auto& c : family.counters) series.push_back(c.get());
+      std::sort(series.begin(), series.end(),
+                [](Counter* a, Counter* b) { return a->labels_ < b->labels_; });
+      for (Counter* c : series) {
+        begin_sample(c->labels_);
+        out.append(",\"value\":").append(std::to_string(c->Value()));
+        out.append("}");
+      }
+    } else if (family.kind == Kind::kGauge) {
+      std::vector<Gauge*> series;
+      for (const auto& g : family.gauges) series.push_back(g.get());
+      std::sort(series.begin(), series.end(),
+                [](Gauge* a, Gauge* b) { return a->labels_ < b->labels_; });
+      for (Gauge* g : series) {
+        begin_sample(g->labels_);
+        out.append(",\"value\":");
+        AppendDouble(&out, g->Value());
+        out.append("}");
+      }
+    } else {
+      std::vector<Histogram*> series;
+      for (const auto& h : family.histograms) series.push_back(h.get());
+      std::sort(series.begin(), series.end(), [](Histogram* a, Histogram* b) {
+        return a->labels_ < b->labels_;
+      });
+      for (Histogram* h : series) {
+        begin_sample(h->labels_);
+        const std::vector<int64_t> counts = h->BucketCounts();
+        int64_t total = 0;
+        for (int64_t n : counts) total += n;
+        out.append(",\"count\":").append(std::to_string(total));
+        out.append(",\"sum\":");
+        AppendDouble(&out, h->Sum());
+        out.append(",\"buckets\":[");
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < h->bounds_.size(); ++b) {
+          cumulative += counts[b];
+          if (b > 0) out.push_back(',');
+          out.append("{\"le\":");
+          AppendDouble(&out, h->bounds_[b]);
+          out.append(",\"count\":").append(std::to_string(cumulative));
+          out.append("}");
+        }
+        out.append("]}");
+      }
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body = json ? Json() : PrometheusText();
+  // Unique temp per writer: the periodic thread and the atexit hook may
+  // both be writing; rename is atomic either way.
+  static std::atomic<uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(seq.fetch_add(1) + 1);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics snapshot temp '" + tmp + "'");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fclose(f) == 0 && written == body.size();
+  if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot write metrics snapshot '" + path + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct GlobalSnapshotWriter {
+  MetricsRegistry* registry = nullptr;
+  std::string path;
+};
+
+GlobalSnapshotWriter* GlobalWriter() {
+  static GlobalSnapshotWriter* const writer = new GlobalSnapshotWriter();
+  return writer;
+}
+
+void WriteGlobalMetricsAtExit() {
+  GlobalSnapshotWriter* writer = GlobalWriter();
+  if (writer->registry == nullptr) return;
+  const Status s = writer->registry->WriteSnapshot(writer->path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "casm: %s\n", s.message().c_str());
+  }
+}
+
+void StartPeriodicSnapshots(double period_seconds) {
+  std::thread([period_seconds] {
+    for (;;) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(period_seconds));
+      WriteGlobalMetricsAtExit();
+    }
+  }).detach();
+}
+
+}  // namespace
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* const global = [] {
+    auto* registry = new MetricsRegistry();  // leaked: usable during exit
+    const char* path = std::getenv("CASM_METRICS");
+    if (path != nullptr && path[0] != '\0') {
+      registry->set_enabled(true);
+      GlobalSnapshotWriter* writer = GlobalWriter();
+      writer->registry = registry;
+      writer->path = path;
+      std::atexit(WriteGlobalMetricsAtExit);
+      double period = 10.0;
+      if (const char* p = std::getenv("CASM_METRICS_PERIOD_SECONDS")) {
+        period = std::atof(p);
+      }
+      if (period > 0) StartPeriodicSnapshots(period);
+    }
+    return registry;
+  }();
+  return global;
+}
+
+}  // namespace casm

@@ -1,0 +1,203 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Process-wide metrics registry: named Counter/Gauge/Histogram instruments
+// with label sets, scrapeable while queries are still running. This is the
+// live complement to the end-of-run MapReduceMetrics struct — a concurrent
+// multi-query service needs per-query/per-phase/per-engine attribution it
+// can poll, not a report it gets after the fact.
+//
+// Overhead contract (the same discipline as obs/trace.h):
+//
+//   * Disabled (the default): every instrument update is ONE relaxed
+//     atomic load and a branch. No allocation, no locking, no stores.
+//   * Enabled: counters and histograms write to thread-local cells — one
+//     relaxed fetch_add on a cell no other thread touches — so hot paths
+//     never contend on a shared cache line. Cells are aggregated only at
+//     scrape time. Gauges are single atomics (they are written from
+//     bookkeeping paths, never per-record).
+//
+// Cells are owned by their instrument and registered under a mutex the
+// first time a thread touches the instrument; the thread-local cache is
+// keyed by a process-unique instrument id that is never reused, so a
+// cached cell can never be confused with a later instrument's (the
+// recorder_id_ trick from obs/trace.h).
+//
+// Instruments live as long as their registry; Get*() returns the same
+// pointer for the same (name, labels) so callers may cache it.
+//
+// The process-global registry (`MetricsRegistry::Global()`) is enabled iff
+// the CASM_METRICS environment variable names a snapshot path. While set,
+// a background thread rewrites the snapshot periodically
+// (CASM_METRICS_PERIOD_SECONDS, default 10) and an atexit hook writes a
+// final one; a path ending in ".json" selects the JSON exposition,
+// anything else the Prometheus text format. Writes are atomic
+// (temp + rename), so a scraper never reads a torn snapshot.
+
+#ifndef CASM_OBS_METRICS_H_
+#define CASM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace casm {
+
+/// Label key/value pairs. Order-insensitive: instruments are deduplicated
+/// and exposed with keys sorted.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  /// Monotonic int64 counter. Increment() is wait-free on the hot path
+  /// (thread-local cell); Value() sums the cells.
+  class Counter {
+   public:
+    ~Counter();  // out-of-line: Cell is defined in metrics.cc only
+    void Increment(int64_t delta = 1) {
+      if (!enabled_->load(std::memory_order_relaxed)) return;
+      IncrementAlways(delta);
+    }
+    /// Unconditional form for callers that already checked enabled().
+    void IncrementAlways(int64_t delta);
+    int64_t Value() const;
+
+   private:
+    friend class MetricsRegistry;
+    struct Cell;
+    Counter(uint64_t id, const std::atomic<bool>* enabled,
+            MetricLabels labels);  // out-of-line: Cell is incomplete here
+    Cell* CellForThisThread();
+
+    const uint64_t id_;
+    const std::atomic<bool>* const enabled_;
+    const MetricLabels labels_;
+    mutable std::mutex cells_mu_;
+    std::vector<std::unique_ptr<Cell>> cells_;
+  };
+
+  /// Last-write-wins double. A single atomic: gauges are set from
+  /// bookkeeping paths (progress updates, peaks), never per-record.
+  class Gauge {
+   public:
+    void Set(double value) {
+      if (!enabled_->load(std::memory_order_relaxed)) return;
+      bits_.store(ToBits(value), std::memory_order_relaxed);
+    }
+    void Add(double delta);
+    double Value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+   private:
+    friend class MetricsRegistry;
+    Gauge(const std::atomic<bool>* enabled, MetricLabels labels)
+        : enabled_(enabled), labels_(std::move(labels)) {}
+    static uint64_t ToBits(double v);
+    static double FromBits(uint64_t b);
+
+    const std::atomic<bool>* const enabled_;
+    const MetricLabels labels_;
+    std::atomic<uint64_t> bits_{0};
+  };
+
+  /// Distribution with fixed cumulative buckets plus sum and count.
+  /// Observe() writes a thread-local cell, like Counter.
+  class Histogram {
+   public:
+    ~Histogram();  // out-of-line: Cell is defined in metrics.cc only
+    void Observe(double value) {
+      if (!enabled_->load(std::memory_order_relaxed)) return;
+      ObserveAlways(value);
+    }
+    void ObserveAlways(double value);
+    int64_t Count() const;
+    double Sum() const;
+    /// Per-bucket (non-cumulative) counts, one per bound plus overflow.
+    std::vector<int64_t> BucketCounts() const;
+    const std::vector<double>& bounds() const { return bounds_; }
+
+   private:
+    friend class MetricsRegistry;
+    struct Cell;
+    Histogram(uint64_t id, const std::atomic<bool>* enabled,
+              MetricLabels labels,
+              std::vector<double> bounds);  // out-of-line: Cell incomplete
+    Cell* CellForThisThread();
+
+    const uint64_t id_;
+    const std::atomic<bool>* const enabled_;
+    const MetricLabels labels_;
+    const std::vector<double> bounds_;
+    mutable std::mutex cells_mu_;
+    std::vector<std::unique_ptr<Cell>> cells_;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// One relaxed load; instruments are inert while false.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Returns (creating on first use) the instrument for (name, labels).
+  /// `help` is recorded on first use of `name`. Registering the same name
+  /// with a different instrument kind is a CASM_CHECK failure. The
+  /// returned pointer is stable for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  /// Empty `bounds` selects a generic latency scale (1ms..100s-ish).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          MetricLabels labels = {},
+                          std::vector<double> bounds = {});
+
+  /// Scrape helpers for tests and report plumbing: 0 / 0.0 when the
+  /// instrument does not exist.
+  int64_t CounterValue(const std::string& name,
+                       const MetricLabels& labels = {}) const;
+  double GaugeValue(const std::string& name,
+                    const MetricLabels& labels = {}) const;
+
+  /// Prometheus text exposition (families sorted by name, series sorted
+  /// by label set; counters render as exact integers).
+  std::string PrometheusText() const;
+  /// JSON exposition with the same content.
+  std::string Json() const;
+  /// Writes a snapshot atomically (temp + rename). Format by extension:
+  /// ".json" -> Json(), anything else -> PrometheusText().
+  Status WriteSnapshot(const std::string& path) const;
+
+  /// The process-wide registry; never destroyed. Enabled iff CASM_METRICS
+  /// is set, in which case snapshots are written periodically and at exit.
+  static MetricsRegistry* Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::vector<std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<Gauge>> gauges;
+    std::vector<std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* FamilyLocked(const std::string& name, Kind kind,
+                       const std::string& help);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace casm
+
+#endif  // CASM_OBS_METRICS_H_

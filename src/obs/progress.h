@@ -1,0 +1,107 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Live query progress: per-phase completed/total task fractions and a
+// wall-clock ETA, published while the run is still executing. The engine
+// drives it (BeginPhase on phase start, TaskFinished per resolved task);
+// consumers are the `casm_progress_*` gauge family in the metrics
+// registry and an optional stderr ticker (`CASM_PROGRESS=seconds`).
+//
+// ETA model: within a started phase the remaining time extrapolates the
+// observed per-task rate (elapsed / completed * remaining). Before any
+// task of a phase completes — and for phases not yet started — a modeled
+// seed supplied by the engine from the fitted cluster cost model
+// (SetModeledRemainingSeconds) stands in, so the estimate is useful from
+// the first tick rather than only after the first task lands. Phases are
+// keyed by name; re-beginning a phase resets it (multi-job sequences run
+// map/reduce repeatedly under one tracker).
+//
+// Threading: all updates are per-*task* (never per-record), so one mutex
+// is fine. The tracker must outlive the engine run it is attached to;
+// StopTicker() (or destruction) joins the ticker thread.
+
+#ifndef CASM_OBS_PROGRESS_H_
+#define CASM_OBS_PROGRESS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace casm {
+
+class MetricsRegistry;
+
+class ProgressTracker {
+ public:
+  struct PhaseProgress {
+    std::string phase;
+    int64_t total = 0;
+    int64_t completed = 0;
+  };
+
+  /// `registry` null means the process-global one. Gauges are published
+  /// under {query=`query`, phase=...} labels when the registry is enabled.
+  explicit ProgressTracker(std::string query,
+                           MetricsRegistry* registry = nullptr);
+  ~ProgressTracker();
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  /// Starts (or restarts) the named phase with `total_tasks` tasks.
+  void BeginPhase(const std::string& phase, int64_t total_tasks);
+  /// Marks one task of `phase` resolved.
+  void TaskFinished(const std::string& phase);
+  /// Seeds the ETA for `phase` with a modeled duration (cluster cost
+  /// model); used until the phase has completed tasks of its own, and
+  /// for phases that have not begun.
+  void SetModeledRemainingSeconds(const std::string& phase, double seconds);
+
+  std::vector<PhaseProgress> Snapshot() const;
+  /// Estimated seconds to completion; 0 when everything known is done.
+  double EtaSeconds() const;
+  /// One-line human rendering, e.g.
+  /// "q1f3a: map 8/8, reduce 3/16 (18.8%), eta 4.2s".
+  std::string Render() const;
+
+  /// Starts a detached-looking (but joined) thread that prints Render()
+  /// to stderr every `period_seconds`. No-op if already running.
+  void StartTicker(double period_seconds);
+  void StopTicker();
+
+  /// CASM_PROGRESS env parsed as seconds; 0 when unset/invalid.
+  static double TickerSecondsFromEnv();
+
+  const std::string& query() const { return query_; }
+
+ private:
+  struct PhaseState {
+    std::string name;
+    int64_t total = 0;
+    int64_t completed = 0;
+    double start_seconds = 0;
+    double last_finish_seconds = 0;
+    double modeled_remaining_seconds = 0;
+    bool begun = false;
+  };
+
+  PhaseState* PhaseLocked(const std::string& phase);
+  double EtaSecondsLocked(double now) const;
+  void PublishLocked(const PhaseState& state);
+
+  const std::string query_;
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mu_;
+  std::vector<PhaseState> phases_;
+
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  std::thread ticker_;
+  bool ticker_stop_ = false;
+};
+
+}  // namespace casm
+
+#endif  // CASM_OBS_PROGRESS_H_

@@ -38,7 +38,8 @@ std::string RunReport::Summary() const {
   if (phases.empty() && admission_waits == 0 && spill_events == 0 &&
       pool_queue_spans == 0 && local_agg_engine.empty() && dfs_reads == 0 &&
       dfs_writes == 0 && dfs_scrubs == 0 && dfs_io_retries == 0 &&
-      dfs_failovers == 0 && dfs_repairs == 0 && ckpt_degraded_events == 0) {
+      dfs_failovers == 0 && dfs_repairs == 0 && ckpt_degraded_events == 0 &&
+      trace_dropped_events == 0) {
     return std::string();
   }
   std::string out = "run report: " +
@@ -87,6 +88,12 @@ std::string RunReport::Summary() const {
       out += ", " + std::to_string(ckpt_degraded_events) +
              " degraded-checkpoint event(s)";
     }
+  }
+  if (trace_dropped_events > 0) {
+    out += "\n  WARNING: trace truncated — " +
+           std::to_string(trace_dropped_events) +
+           " span(s) dropped at the per-thread cap; histograms and "
+           "trace-derived fits are incomplete";
   }
   return out;
 }

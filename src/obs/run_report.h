@@ -63,6 +63,13 @@ struct RunReport {
   int64_t dfs_repairs = 0;         // "dfs-repair" instants
   int64_t ckpt_degraded_events = 0;  // breaker opened / commit skipped
 
+  /// Spans the recorder dropped because a thread hit its per-thread event
+  /// cap (obs/trace.h). Set by the engine from
+  /// TraceRecorder::dropped_events(), not derivable from the snapshot
+  /// itself. Non-zero means every trace-derived number above — and
+  /// downstream fits like FitStragglerSlowdown — saw truncated data.
+  int64_t trace_dropped_events = 0;
+
   /// The histogram for `phase` ("map" / "reduce"), or null when the trace
   /// held no attempts of that phase.
   const PhaseAttemptHistogram* FindPhase(const std::string& phase) const;

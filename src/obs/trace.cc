@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.h"
+
 namespace casm {
 namespace {
 
@@ -290,9 +292,9 @@ void WriteGlobalTraceAtExit() {
   TraceRecorder* recorder = TraceRecorder::Global();
   Status s = recorder->WriteJson(path);
   if (s.ok()) {
-    std::fprintf(stderr, "casm: wrote trace to %s\n", path);
+    CASM_LOG(INFO) << "casm: wrote trace to " << path;
   } else {
-    std::fprintf(stderr, "casm: %s\n", s.ToString().c_str());
+    CASM_LOG(ERROR) << "casm: " << s.ToString();
   }
 }
 
