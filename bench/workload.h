@@ -1,0 +1,103 @@
+// Copyright 2026 The CASM Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic multi-query workload generator shared by the service
+// benchmark (bench/fig_service.cc) and the service stress tests
+// (tests/svc_test.cc). A workload is a sequence of (query, arrival
+// offset, priority) items:
+//
+//   - The query mix is Zipf-distributed over a template list (Q1 most
+//     popular), modeling the few-hot-dashboards-many-cold-reports shape
+//     of real multi-tenant OLAP traffic. A skewed mix is what makes
+//     shared-scan batching pay off: hot templates co-arrive and share.
+//   - Arrivals are a Poisson process (exponential inter-arrival times via
+//     inverse-CDF), the standard open-loop offered-load model.
+//
+// Everything derives from the caller's seed through common/rng.h —
+// no rand(), no wall-clock seeding — so a workload is reproducible
+// bit-for-bit across runs, platforms, and the bench/test pair.
+
+#ifndef CASM_BENCH_WORKLOAD_H_
+#define CASM_BENCH_WORKLOAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "queries/paper_queries.h"
+
+namespace casm::bench {
+
+struct WorkloadOptions {
+  uint64_t seed = 0x5eedULL;
+  int num_queries = 32;
+  /// Zipf exponent of the template-popularity distribution; 0 = uniform.
+  double zipf_s = 1.0;
+  /// Offered load of the Poisson arrival process; <= 0 collapses every
+  /// arrival to offset 0 (a closed burst — the bench's batching-window
+  /// stress case).
+  double arrivals_per_second = 0;
+  /// Every k-th item (k > 0) is submitted at priority 1 instead of 0,
+  /// exercising the service's priority ordering; 0 = all priority 0.
+  int high_priority_every = 0;
+  /// Query templates in popularity order (index 0 = hottest).
+  std::vector<PaperQuery> mix = {PaperQuery::kQ1, PaperQuery::kQ2,
+                                 PaperQuery::kQ3, PaperQuery::kQ4,
+                                 PaperQuery::kQ5, PaperQuery::kQ6};
+};
+
+struct WorkloadItem {
+  PaperQuery query;
+  /// Template index into WorkloadOptions::mix (stable across runs; lets
+  /// consumers key per-template bookkeeping without re-deriving it).
+  int template_index;
+  /// Seconds after workload start at which the query arrives.
+  double arrival_seconds;
+  int priority;
+};
+
+/// Generates the workload. Deterministic in `options` (same options ->
+/// bit-identical items).
+inline std::vector<WorkloadItem> MakeWorkload(const WorkloadOptions& options) {
+  CASM_CHECK(!options.mix.empty());
+  CASM_CHECK(options.num_queries >= 0);
+  // Zipf CDF over template ranks: P(i) proportional to 1/(i+1)^s.
+  std::vector<double> cdf(options.mix.size());
+  double total = 0;
+  for (size_t i = 0; i < options.mix.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_s);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  Rng rng(options.seed);
+  std::vector<WorkloadItem> items;
+  items.reserve(static_cast<size_t>(options.num_queries));
+  double clock = 0;
+  for (int i = 0; i < options.num_queries; ++i) {
+    const double u = rng.UniformDouble();
+    size_t pick = 0;
+    while (pick + 1 < cdf.size() && u > cdf[pick]) ++pick;
+    if (options.arrivals_per_second > 0) {
+      // Exponential inter-arrival: -ln(1 - u) / lambda. 1 - u is in
+      // (0, 1] for u in [0, 1), so the log is finite.
+      clock += -std::log(1.0 - rng.UniformDouble()) /
+               options.arrivals_per_second;
+    }
+    WorkloadItem item;
+    item.query = options.mix[pick];
+    item.template_index = static_cast<int>(pick);
+    item.arrival_seconds = clock;
+    item.priority = options.high_priority_every > 0 &&
+                            (i + 1) % options.high_priority_every == 0
+                        ? 1
+                        : 0;
+    items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace casm::bench
+
+#endif  // CASM_BENCH_WORKLOAD_H_

@@ -18,8 +18,10 @@
 #            against use-after-free/overflow regressions.
 #   tsan     ThreadSanitizer: speculative execution runs concurrent
 #            executions of one task with cooperative cancellation, an
-#            output-ownership race, and blocking budget admission — TSan
-#            guards the cross-thread handoffs.
+#            output-ownership race, and blocking budget admission, and
+#            the multi-query service races submit/cancel/shutdown
+#            against its worker pool (svc_test's concurrent stress) —
+#            TSan guards the cross-thread handoffs.
 #   ubsan    UndefinedBehaviorSanitizer (-fno-sanitize-recover=all, so
 #            any hit is a hard failure): guards the hash mixing, flat
 #            buffer arithmetic, and byte-accounting overflow paths.

@@ -15,12 +15,15 @@ are understood, keyed by the file's top-level shape:
   by ``name``; the compared metric is ``items_per_second``.
 * CASM figure JSON (``{"rows": [...]}``, written by MaybeWriteJson):
   rows are matched by ``label``; every baseline field whose name ends in
-  ``_throughput_rows_per_sec`` is compared as a floor, and every field
-  whose name ends in ``_spilled_bytes``, ``_spilled_records`` or
-  ``_admission_waits`` (AppendResourceMetrics in bench/bench_util.h) is
+  ``_throughput_rows_per_sec`` or ``_speedup_x`` (the shared-scan
+  batching ratio in fig_service) is compared as a floor, and every field
+  whose name ends in ``_spilled_bytes``, ``_spilled_records``,
+  ``_admission_waits`` (AppendResourceMetrics in bench/bench_util.h) or
+  ``_latency_seconds`` (query-service submit-to-done latency) is
   compared as a *ceiling* — the fresh value may not exceed the baseline
   by more than the threshold, so a default-configuration bench that
-  silently starts spilling or queueing on the memory budget trips CI.
+  silently starts spilling, queueing on the memory budget, or missing
+  its latency budget trips CI.
 
 Throughput baselines are deliberately conservative floors (well below the
 throughput observed on a warm dev machine), so the gate trips on large,
@@ -57,9 +60,22 @@ regression. Do NOT loosen --threshold instead.
 # CI runners several times slower than the machine that seeded them.
 RESEED_FRACTION = 0.35
 
-# Resource counters gated as ceilings (fresh <= baseline * (1+threshold)),
-# emitted by AppendResourceMetrics in bench/bench_util.h.
-CEILING_SUFFIXES = ("_spilled_bytes", "_spilled_records", "_admission_waits")
+# Fields gated as floors (fresh >= baseline * (1-threshold)): raw
+# throughput, and dimensionless ratios such as fig_service's
+# scan_pass_speedup_x (>1 means shared batching actually shared a scan).
+FLOOR_SUFFIXES = ("_throughput_rows_per_sec", "_speedup_x")
+
+# Fields gated as ceilings (fresh <= baseline * (1+threshold)): resource
+# counters from AppendResourceMetrics in bench/bench_util.h, plus the
+# query-service latency quantiles from fig_service.
+CEILING_SUFFIXES = ("_spilled_bytes", "_spilled_records", "_admission_waits",
+                    "_latency_seconds")
+
+
+def _fmt(value):
+    """Readable across magnitudes: thousands separators for counters and
+    throughputs, decimals for sub-second latencies and speedup ratios."""
+    return f"{value:,.0f}" if value >= 100 else f"{value:,.4g}"
 
 
 def iter_baseline_metrics(doc):
@@ -75,7 +91,7 @@ def iter_baseline_metrics(doc):
     elif "rows" in doc:
         for row in doc["rows"]:
             for field, value in row.items():
-                if field.endswith("_throughput_rows_per_sec"):
+                if field.endswith(FLOOR_SUFFIXES):
                     yield row["label"], field, value, "floor"
                 elif field.endswith(CEILING_SUFFIXES):
                     yield row["label"], field, value, "ceiling"
@@ -114,25 +130,25 @@ def check(baseline_dir, fresh_dir, threshold):
                 ok = got >= limit
                 verdict = "ok" if ok else "REGRESSION"
                 print(f"{verdict:>10}  {path.name}:{key} [{field}] "
-                      f"{got:,.0f}/s vs floor {bound:,.0f}/s "
-                      f"(limit {limit:,.0f}/s)")
+                      f"{_fmt(got)} vs floor {_fmt(bound)} "
+                      f"(limit {_fmt(limit)})")
                 if not ok:
                     failures.append(
-                        f"{path.name}: '{key}' [{field}] {got:,.0f}/s is "
+                        f"{path.name}: '{key}' [{field}] {_fmt(got)} is "
                         f"more than {threshold:.0%} below the baseline "
-                        f"floor {bound:,.0f}/s")
+                        f"floor {_fmt(bound)}")
             else:
                 limit = bound * (1.0 + threshold)
                 ok = got <= limit
                 verdict = "ok" if ok else "REGRESSION"
                 print(f"{verdict:>10}  {path.name}:{key} [{field}] "
-                      f"{got:,.0f} vs ceiling {bound:,.0f} "
-                      f"(limit {limit:,.0f})")
+                      f"{_fmt(got)} vs ceiling {_fmt(bound)} "
+                      f"(limit {_fmt(limit)})")
                 if not ok:
                     failures.append(
-                        f"{path.name}: '{key}' [{field}] {got:,.0f} is more "
+                        f"{path.name}: '{key}' [{field}] {_fmt(got)} is more "
                         f"than {threshold:.0%} above the baseline ceiling "
-                        f"{bound:,.0f}")
+                        f"{_fmt(bound)}")
     if compared == 0 and not failures:
         failures.append("baselines contained no throughput metrics")
     return failures
@@ -142,11 +158,16 @@ def reseed(fresh_dir, baseline_dir):
     """Rewrites every existing baseline from fresh output: floors at
     RESEED_FRACTION of the observed throughput, ceilings at the observed
     resource count divided by RESEED_FRACTION (the same ~3x headroom,
-    in the other direction; an observed zero stays an exact-zero gate)."""
+    in the other direction; an observed zero stays an exact-zero gate).
+    Integer-valued metrics stay integers; fractional ones (latency
+    seconds, speedup ratios) keep six decimals so a 50ms latency does
+    not collapse to a zero ceiling."""
     def reseeded(value, direction):
-        if direction == "floor":
-            return round(value * RESEED_FRACTION)
-        return round(value / RESEED_FRACTION)
+        scaled = (value * RESEED_FRACTION if direction == "floor"
+                  else value / RESEED_FRACTION)
+        rounded = round(scaled)
+        return rounded if abs(scaled - rounded) < 1e-9 and scaled >= 10 \
+            else round(scaled, 6)
 
     for path in sorted(baseline_dir.glob("*.json")):
         fresh_path = fresh_dir / path.name

@@ -6,8 +6,23 @@
 
 #include "core/cost_model.h"
 #include "core/coverage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace casm {
+
+void PlanCache::set_registry(MetricsRegistry* registry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  registry_ = registry;
+}
+
+void PlanCache::RecordInstant(const char* name) const {
+  // mu_ held. Trace instants are cheap (one per cache operation, never
+  // per record) and gated on the recorder's own enabled() load.
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->RecordInstant("plancache", name);
+  }
+}
 
 void PlanCache::Remember(const ExecutionPlan& plan, double observed_max_load,
                          int64_t num_records, int num_reducers) {
@@ -19,11 +34,33 @@ void PlanCache::Remember(const ExecutionPlan& plan, double observed_max_load,
         entry.score = observed_max_load;
         entry.observed_records = num_records;
         entry.observed_reducers = num_reducers;
+        ++stats_.updates;
       }
       return;
     }
   }
   entries_.push_back(Entry{plan, observed_max_load, num_records, num_reducers});
+  ++stats_.inserts;
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("casm_plan_cache_inserts_total",
+                     "Plans newly remembered by the plan cache")
+        ->Increment();
+  }
+  if (max_entries_ > 0 && static_cast<int>(entries_.size()) > max_entries_) {
+    auto worst = std::max_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.score < b.score; });
+    entries_.erase(worst);
+    ++stats_.evictions;
+    RecordInstant("evict");
+    if (registry_ != nullptr) {
+      registry_
+          ->GetCounter("casm_plan_cache_evictions_total",
+                       "Plans evicted from the plan cache at capacity")
+          ->Increment();
+    }
+  }
 }
 
 std::optional<ExecutionPlan> PlanCache::FindFeasible(const Workflow& wf,
@@ -35,7 +72,25 @@ std::optional<ExecutionPlan> PlanCache::FindFeasible(const Workflow& wf,
     if (best != nullptr && entry.score >= best->score) continue;
     if (IsFeasible(wf, entry.plan.key)) best = &entry;
   }
-  if (best == nullptr) return std::nullopt;
+  if (best == nullptr) {
+    ++stats_.misses;
+    RecordInstant("miss");
+    if (registry_ != nullptr) {
+      registry_
+          ->GetCounter("casm_plan_cache_misses_total",
+                       "Plan-cache lookups that found no feasible plan")
+          ->Increment();
+    }
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  RecordInstant("hit");
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("casm_plan_cache_hits_total",
+                     "Plan-cache lookups that returned a feasible plan")
+        ->Increment();
+  }
   ExecutionPlan plan = best->plan;
   // The cached clustering factor was observed on a specific table and
   // cluster; reusing it verbatim on a different one silently skews every
@@ -66,6 +121,11 @@ std::optional<ExecutionPlan> PlanCache::FindFeasible(const Workflow& wf,
 int PlanCache::size() const {
   std::unique_lock<std::mutex> lock(mu_);
   return static_cast<int>(entries_.size());
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace casm

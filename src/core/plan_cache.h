@@ -11,10 +11,19 @@
 // A PlanCache remembers keys together with the workload they achieved
 // (e.g., the max reducer load observed by a sampled dispatch or a real
 // run) and answers "is any remembered key feasible for this query?".
+//
+// Concurrency: the cache is shared by every worker of the multi-query
+// service (svc/query_service.h), so all operations are serialized on one
+// internal mutex and FindFeasible returns a copy, never a reference into
+// the store. Hit/miss/eviction activity is triple-published: internal
+// counters (stats()), casm_plan_cache_* counters in a MetricsRegistry,
+// and "plancache" trace instants so run reports can show cache behavior
+// for a traced run (obs/run_report.h).
 
 #ifndef CASM_CORE_PLAN_CACHE_H_
 #define CASM_CORE_PLAN_CACHE_H_
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -24,11 +33,26 @@
 
 namespace casm {
 
+class MetricsRegistry;
+class TraceRecorder;
+
+/// One consistent snapshot of cache activity since construction.
+struct PlanCacheStats {
+  int64_t hits = 0;       // FindFeasible returned a plan
+  int64_t misses = 0;     // FindFeasible returned nullopt
+  int64_t inserts = 0;    // Remember added a new entry
+  int64_t updates = 0;    // Remember improved an existing entry's score
+  int64_t evictions = 0;  // capacity pressure dropped the worst entry
+};
+
 /// Thread-safe store of previously successful plans for one dataset
 /// (one schema + one value distribution).
 class PlanCache {
  public:
-  PlanCache() = default;
+  /// `max_entries` bounds the store; inserting past it evicts the
+  /// worst-scoring entry. <= 0 = unbounded (the single-query default —
+  /// plan diversity is tiny without a service in front).
+  explicit PlanCache(int max_entries = 0) : max_entries_(max_entries) {}
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
@@ -53,6 +77,17 @@ class PlanCache {
                                             int num_reducers = 0) const;
 
   int size() const;
+  PlanCacheStats stats() const;
+
+  /// Publishes hit/miss/insert/eviction activity as casm_plan_cache_*
+  /// counters. Null detaches. Install before sharing the cache across
+  /// threads; the registry must outlive the cache.
+  void set_registry(MetricsRegistry* registry);
+
+  /// Records "plancache" instants ("hit"/"miss"/"evict") for run
+  /// reports. Null detaches (the default: caches used outside a traced
+  /// run stay silent). Install before sharing; must outlive the cache.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
  private:
   struct Entry {
@@ -62,8 +97,14 @@ class PlanCache {
     int observed_reducers;
   };
 
+  void RecordInstant(const char* name) const;
+
+  const int max_entries_;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
+  mutable PlanCacheStats stats_;
+  MetricsRegistry* registry_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace casm

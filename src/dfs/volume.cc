@@ -466,9 +466,59 @@ Result<std::string> ReadReplicaWithRetry(const std::string& root,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Live-staging registry.
+//
+// Several concurrent queries may legitimately share one volume root (the
+// multi-query service pointing every checkpointing query at a single
+// CASM_CHECKPOINT_DIR). Staging GC used to decide liveness by mtime
+// alone, so a volume Open()/Scrub() racing a slow in-flight writer —
+// trivially with staging_gc_age_seconds lowered for tests, and for any
+// writer stalled past the age in production — could delete a staging
+// file the writer still needs: Commit() reopens it "rb" after the sync
+// and would fail. Every open FileWriter therefore registers its staging
+// path process-wide, and GC skips registered paths no matter their age.
+
+std::mutex& LiveStagingMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::set<std::string>& LiveStagingPaths() {
+  static std::set<std::string>* paths = new std::set<std::string>;
+  return *paths;
+}
+
+/// One spelling per file, so registration (root + "/." + name +
+/// ".staging") and GC (directory-iterator paths) agree even when the two
+/// spell the root differently ("dir" vs "dir/").
+std::string StagingKey(const std::string& path) {
+  std::error_code ec;
+  fs::path normalized = fs::absolute(path, ec);
+  if (ec) return path;
+  return normalized.lexically_normal().string();
+}
+
+void RegisterLiveStaging(const std::string& path) {
+  std::lock_guard<std::mutex> lock(LiveStagingMutex());
+  LiveStagingPaths().insert(StagingKey(path));
+}
+
+void UnregisterLiveStaging(const std::string& path) {
+  std::lock_guard<std::mutex> lock(LiveStagingMutex());
+  LiveStagingPaths().erase(StagingKey(path));
+}
+
+bool IsLiveStaging(const std::string& path) {
+  std::lock_guard<std::mutex> lock(LiveStagingMutex());
+  return LiveStagingPaths().count(StagingKey(path)) > 0;
+}
+
 /// Removes staging orphans (".<name>.staging" in the volume root) older
 /// than the GC age. Committed blocks and manifests are never touched —
-/// only dot-prefixed staging paths match. Returns the number removed.
+/// only dot-prefixed staging paths match, and paths registered by a live
+/// in-process writer are skipped regardless of age. Returns the number
+/// removed.
 int64_t RemoveStaleStagingFiles(const std::string& root,
                                 const DfsVolumeOptions& options) {
   int64_t removed = 0;
@@ -482,6 +532,7 @@ int64_t RemoveStaleStagingFiles(const std::string& root,
             0) {
       continue;
     }
+    if (IsLiveStaging(entry.path().string())) continue;
     std::error_code time_ec;
     const auto mtime = fs::last_write_time(entry.path(), time_ec);
     if (time_ec) continue;
@@ -553,6 +604,7 @@ void DfsVolume::FileWriter::Discard() {
   }
   if (!committed_ && !staging_path_.empty()) {
     std::remove(staging_path_.c_str());
+    UnregisterLiveStaging(staging_path_);
   }
 }
 
@@ -562,6 +614,9 @@ Status DfsVolume::FileWriter::EnsureStaging() {
   if (staging_ == nullptr) {
     return Status::Internal("cannot create staging file " + staging_path_);
   }
+  // Shield the file from concurrent staging GC (another query scrubbing
+  // or reopening the same volume root) until Commit or Discard.
+  RegisterLiveStaging(staging_path_);
   return Status::OK();
 }
 
@@ -735,6 +790,7 @@ Status DfsVolume::FileWriter::Commit() {
 
   committed_ = true;
   std::remove(staging_path_.c_str());
+  UnregisterLiveStaging(staging_path_);
   return Status::OK();
 }
 

@@ -309,6 +309,37 @@ Status ValidateMeasure(const Schema& schema,
 
 }  // namespace
 
+Result<Workflow> ConcatWorkflows(const std::vector<const Workflow*>& members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("ConcatWorkflows: no member workflows");
+  }
+  for (const Workflow* member : members) {
+    if (member == nullptr) {
+      return Status::InvalidArgument("ConcatWorkflows: null member workflow");
+    }
+    if (member->schema() != members[0]->schema()) {
+      // Pointer identity, not structural equality: sharing a scan only
+      // makes sense for queries over the same registered dataset, and
+      // those hold the same SchemaPtr.
+      return Status::InvalidArgument(
+          "ConcatWorkflows: members must share one schema instance");
+    }
+  }
+  Workflow out;
+  out.schema_ = members[0]->schema();
+  int offset = 0;
+  for (size_t q = 0; q < members.size(); ++q) {
+    for (const Measure& m : members[q]->measures()) {
+      Measure copy = m;
+      copy.name = "q" + std::to_string(q) + "." + m.name;
+      for (MeasureEdge& e : copy.edges) e.source += offset;
+      out.measures_.push_back(std::move(copy));
+    }
+    offset += members[q]->num_measures();
+  }
+  return out;
+}
+
 Result<Workflow> WorkflowBuilder::Build() && {
   if (!deferred_error_.ok()) return deferred_error_;
   if (measures_.empty()) {

@@ -58,9 +58,21 @@ class Workflow {
 
  private:
   friend class WorkflowBuilder;
+  friend Result<Workflow> ConcatWorkflows(
+      const std::vector<const Workflow*>& members);
   SchemaPtr schema_;
   std::vector<Measure> measures_;
 };
+
+/// Concatenates validated workflows over one schema (same SchemaPtr)
+/// into a single workflow: measures are copied in member order with edge
+/// sources offset to their new indices and names prefixed "q<i>." so
+/// they stay unique. Feasibility of a distribution key is checked per
+/// measure (core/coverage.h), so a plan feasible for the concatenation
+/// is feasible for every member — the multi-query optimizer plans for
+/// the concatenation and evaluates the members against that one plan
+/// (core/shared_evaluator.h).
+Result<Workflow> ConcatWorkflows(const std::vector<const Workflow*>& members);
 
 /// Incremental workflow construction. Add* methods return the measure's
 /// index for use as an edge source; structural errors surface in Build()

@@ -261,4 +261,45 @@ void PublishQueryMetrics(MetricsRegistry* registry, const std::string& query,
         "Wall-clock seconds of the query's last run", metrics.total_seconds);
 }
 
+void PublishSharedQueryMetrics(
+    MetricsRegistry* registry,
+    const std::vector<SharedQueryAttribution>& queries, int batch_queries) {
+  if (registry == nullptr || !registry->enabled()) return;
+  for (const SharedQueryAttribution& q : queries) {
+    const MetricLabels labels = {{"query", q.query}};
+    registry
+        ->GetCounter("casm_query_shared_jobs_total",
+                     "Shared multi-query jobs this query rode in", labels)
+        ->Increment(1);
+    registry
+        ->GetCounter("casm_query_shared_local_records_total",
+                     "Rows this query's local evaluation scanned inside "
+                     "shared jobs",
+                     labels)
+        ->Increment(q.local_records);
+    registry
+        ->GetCounter("casm_query_shared_result_values_total",
+                     "Measure values delivered to this query by shared jobs",
+                     labels)
+        ->Increment(q.result_values);
+    registry
+        ->GetCounter("casm_query_shared_results_filtered_total",
+                     "Values dropped by this query's ownership filter inside "
+                     "shared jobs",
+                     labels)
+        ->Increment(q.results_filtered);
+    registry
+        ->GetGauge("casm_query_shared_local_eval_seconds",
+                   "Local sort+evaluate seconds this query spent in its last "
+                   "shared job",
+                   labels)
+        ->Set(q.local_eval_seconds);
+    registry
+        ->GetGauge("casm_query_shared_batch_queries",
+                   "Queries in the last shared batch this query rode in",
+                   labels)
+        ->Set(static_cast<double>(batch_queries));
+  }
+}
+
 }  // namespace casm

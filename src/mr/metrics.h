@@ -174,6 +174,29 @@ class MetricsRegistry;
 void PublishQueryMetrics(MetricsRegistry* registry, const std::string& query,
                          const MapReduceMetrics& metrics);
 
+/// Exact per-query attribution inside a shared multi-query job
+/// (core/shared_evaluator.h). The shared scan/shuffle counters belong to
+/// the batch and are published once under the batch's own label via
+/// PublishQueryMetrics; each member query publishes only work that is
+/// genuinely its own — the records its local evaluation scanned, the
+/// seconds it spent, the result values it produced, the records its
+/// ownership filter dropped — so summing `casm_query_*` families across
+/// concurrent queries never double-counts the shared pass.
+struct SharedQueryAttribution {
+  std::string query;           // casm_query_* label
+  int64_t local_records = 0;   // rows this member's local evaluation scanned
+  double local_eval_seconds = 0;  // sort + evaluate seconds, this member
+  int64_t result_values = 0;   // measure values delivered to this member
+  int64_t results_filtered = 0;  // values dropped by its ownership filter
+};
+
+/// Publishes each member's exact share of a shared job
+/// (casm_query_shared_* families) plus the batch size it rode in.
+/// No-op while the registry is disabled.
+void PublishSharedQueryMetrics(
+    MetricsRegistry* registry,
+    const std::vector<SharedQueryAttribution>& queries, int batch_queries);
+
 }  // namespace casm
 
 #endif  // CASM_MR_METRICS_H_

@@ -39,7 +39,8 @@ std::string RunReport::Summary() const {
       pool_queue_spans == 0 && local_agg_engine.empty() && dfs_reads == 0 &&
       dfs_writes == 0 && dfs_scrubs == 0 && dfs_io_retries == 0 &&
       dfs_failovers == 0 && dfs_repairs == 0 && ckpt_degraded_events == 0 &&
-      trace_dropped_events == 0) {
+      plan_cache_hits == 0 && plan_cache_misses == 0 &&
+      plan_cache_evictions == 0 && trace_dropped_events == 0) {
     return std::string();
   }
   std::string out = "run report: " +
@@ -88,6 +89,12 @@ std::string RunReport::Summary() const {
       out += ", " + std::to_string(ckpt_degraded_events) +
              " degraded-checkpoint event(s)";
     }
+  }
+  if (plan_cache_hits > 0 || plan_cache_misses > 0 ||
+      plan_cache_evictions > 0) {
+    out += "\n  plancache: " + std::to_string(plan_cache_hits) + " hit(s), " +
+           std::to_string(plan_cache_misses) + " miss(es), " +
+           std::to_string(plan_cache_evictions) + " eviction(s)";
   }
   if (trace_dropped_events > 0) {
     out += "\n  WARNING: trace truncated — " +
@@ -174,6 +181,14 @@ RunReport BuildRunReport(const std::vector<TraceEvent>& events) {
         ++report.dfs_failovers;
       } else if (ev.name == "dfs-repair") {
         ++report.dfs_repairs;
+      }
+    } else if (std::strcmp(ev.category, "plancache") == 0 && ev.instant) {
+      if (ev.name == "hit") {
+        ++report.plan_cache_hits;
+      } else if (ev.name == "miss") {
+        ++report.plan_cache_misses;
+      } else if (ev.name == "evict") {
+        ++report.plan_cache_evictions;
       }
     } else if (std::strcmp(ev.category, "ckpt") == 0 && ev.instant &&
                (ev.name == "ckpt-degraded" ||

@@ -63,6 +63,12 @@ struct RunReport {
   int64_t dfs_repairs = 0;         // "dfs-repair" instants
   int64_t ckpt_degraded_events = 0;  // breaker opened / commit skipped
 
+  /// Plan-cache activity: "plancache" instants (core/plan_cache.h with a
+  /// trace recorder installed, e.g. by the multi-query service).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_evictions = 0;
+
   /// Spans the recorder dropped because a thread hit its per-thread event
   /// cap (obs/trace.h). Set by the engine from
   /// TraceRecorder::dropped_events(), not derivable from the snapshot

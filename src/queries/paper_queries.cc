@@ -168,7 +168,10 @@ std::vector<PaperQuery> AllPaperQueries() {
 }
 
 Workflow MakePaperQuery(PaperQuery query) {
-  SchemaPtr schema = PaperSchema();
+  return MakePaperQuery(query, PaperSchema());
+}
+
+Workflow MakePaperQuery(PaperQuery query, const SchemaPtr& schema) {
   switch (query) {
     case PaperQuery::kQ1:
       return MakeQ1(schema);

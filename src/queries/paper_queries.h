@@ -31,6 +31,12 @@ std::vector<PaperQuery> AllPaperQueries();
 /// Builds the query against PaperSchema() (paper_data.h).
 Workflow MakePaperQuery(PaperQuery query);
 
+/// Builds the query against a caller-supplied PaperSchema() instance.
+/// Multi-query consumers (svc/query_service.h shared batching,
+/// bench/fig_service.cc) need every workflow AND the table to share one
+/// schema instance — shared-scan compatibility is pointer identity.
+Workflow MakePaperQuery(PaperQuery query, const SchemaPtr& schema);
+
 /// The intro's M1–M4 against WeblogSchema().
 Workflow MakeWeblogWorkflow();
 

@@ -553,5 +553,62 @@ TEST(CkptRecoveryTest, SinglePassCommitFailureDegradesNotFails) {
   EXPECT_TRUE(match.ok()) << match.ToString();
 }
 
+TEST(CkptRecoveryTest, StagingGcSkipsLiveWritersInSharedCheckpointDir) {
+  // Regression: two in-flight queries sharing one CASM_CHECKPOINT_DIR.
+  // Staging GC used to decide liveness by mtime alone, so query B's
+  // volume Open()/Scrub() could delete query A's still-open staging file
+  // (deterministically with staging_gc_age_seconds=0, and for any writer
+  // stalled past the age in production); A's Commit() then failed
+  // reopening it. Live writers now register their staging paths
+  // process-wide and GC must skip them regardless of age.
+  const std::string dir = TestDir("staginggc");
+  DfsVolumeOptions options;
+  options.block_size_bytes = 256;
+  options.staging_gc_age_seconds = 0;  // every staging file is "stale"
+
+  Result<DfsVolume> query_a = DfsVolume::Open(dir, options);
+  ASSERT_TRUE(query_a.ok()) << query_a.status();
+  Result<DfsVolume::FileWriter> writer =
+      query_a->CreateFile("query_a.results");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const std::string payload(1024, 'a');  // > block size: staging on disk
+  ASSERT_TRUE(writer->Append(payload).ok());
+
+  // Query B opens and scrubs the same root while A is mid-write. Both
+  // paths run staging GC; neither may touch A's live staging file.
+  Result<DfsVolume> query_b = DfsVolume::Open(dir, options);
+  ASSERT_TRUE(query_b.ok()) << query_b.status();
+  Result<ScrubReport> scrub = query_b->Scrub();
+  ASSERT_TRUE(scrub.ok()) << scrub.status();
+  EXPECT_EQ(scrub->staging_files_removed, 0);
+
+  Status committed = writer->Commit();
+  ASSERT_TRUE(committed.ok()) << committed.ToString();
+  Result<std::string> read_back = query_b->ReadFile("query_a.results");
+  ASSERT_TRUE(read_back.ok()) << read_back.status();
+  EXPECT_EQ(read_back.value(), payload);
+
+  // True orphans (no live writer — e.g. a crashed process) are still
+  // collected: discard a writer without committing, leaving its staging
+  // file behind artificially, then scrub.
+  {
+    Result<DfsVolume::FileWriter> orphan =
+        query_a->CreateFile("query_c.results");
+    ASSERT_TRUE(orphan.ok());
+    ASSERT_TRUE(orphan->Append(payload).ok());
+    // Simulate a crash: copy the staging file aside, let the writer
+    // discard, then restore the file so it exists with no live owner.
+    const std::string staging = dir + "/.query_c.results.staging";
+    ASSERT_TRUE(fs::exists(staging));
+    fs::copy_file(staging, staging + ".crashcopy");
+  }
+  fs::rename(dir + "/.query_c.results.staging.crashcopy",
+             dir + "/.query_c.results.staging");
+  Result<ScrubReport> gc = query_b->Scrub();
+  ASSERT_TRUE(gc.ok()) << gc.status();
+  EXPECT_EQ(gc->staging_files_removed, 1);
+  EXPECT_FALSE(fs::exists(dir + "/.query_c.results.staging"));
+}
+
 }  // namespace
 }  // namespace casm
